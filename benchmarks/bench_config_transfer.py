@@ -1,0 +1,61 @@
+"""The split configuration format (paper §4.1) in numbers.
+
+"Each custom instruction requires 54 Kbytes of data to be transferred
+for a configuration ... we do not need to save the entire configuration,
+just the configuration information for the stateful elements."  This
+benchmark measures exactly that asymmetry through a swap-heavy run:
+every eviction saves only the state section while every load moves the
+full static image, so the byte ledger should be dominated by loads by
+two orders of magnitude.
+"""
+
+from conftest import FINE_SCALE, emit
+
+from repro.config import PAPER_CONFIG_BYTES
+from repro.sim.experiment import ExperimentSpec, run_experiment
+from repro.sim.scaling import scaled_config
+
+
+def _swap_heavy_run():
+    return run_experiment(
+        ExperimentSpec(
+            workload="echo",  # stateful circuits: real state sections
+            instances=4,
+            quantum_ms=1.0,
+            scale=FINE_SCALE,
+        ),
+        verify=False,
+    )
+
+
+def test_state_sections_are_cheap(once):
+    outcome = once(_swap_heavy_run)
+    cis = outcome.cis
+    assert cis["evictions"] > 10  # genuinely swap-heavy
+
+    static_per_load = cis["static_bytes_moved"] / cis["loads"]
+    state_per_eviction = cis["state_bytes_moved"] / max(
+        1, cis["evictions"] + cis["loads"]
+    )
+    # A full static image dwarfs a state section.
+    assert static_per_load > 50 * state_per_eviction
+
+    config = scaled_config(1.0)
+    full_load_cycles = config.transfer_cycles(PAPER_CONFIG_BYTES)
+    state_cycles = config.transfer_cycles(config.state_bytes_for(11))
+
+    lines = [
+        "Configuration-transfer ledger (4 echo instances, 1 ms quanta)",
+        f"loads                : {cis['loads']:,}",
+        f"evictions            : {cis['evictions']:,}",
+        f"static bytes moved   : {cis['static_bytes_moved']:,}",
+        f"state bytes moved    : {cis['state_bytes_moved']:,}",
+        f"static per load      : {static_per_load:,.0f} bytes",
+        "",
+        "Paper-scale costs (100 MHz, byte-wide configuration port):",
+        f"full 54 KB load      : {full_load_cycles:,} cycles",
+        f"state section (comb) : {state_cycles:,} cycles",
+        f"ratio                : {full_load_cycles / state_cycles:,.0f}x",
+    ]
+    emit("config_transfer", "\n".join(lines))
+    once.benchmark.extra_info["static_per_load"] = round(static_per_load)

@@ -1,0 +1,85 @@
+"""Figure 2 — the basic scheduling (circuit switching) test.
+
+Regenerates the paper's completion-time curves for each workload under
+{round robin, random} replacement x {10 ms, 1 ms} quanta, and checks the
+reproduction targets:
+
+* completion time is linear in the instance count until the array fills
+  (after 4 instances for alpha/twofish, after 2 for echo);
+* the 1 ms quantum suffers far more from contention than 10 ms;
+* round robin generally does no better than random.
+"""
+
+from conftest import BENCH_SCALE, SWEEP_INSTANCES, emit, normalised
+
+from repro.sim.figures import contention_knees, figure2
+from repro.sim.report import render_figure, render_table
+
+
+def _series(figure, workload, policy, quantum):
+    return figure.series_by_label(f"{workload}, {policy}, {quantum}")
+
+
+def _regenerate(workload: str):
+    return figure2(
+        scale=BENCH_SCALE,
+        instances=SWEEP_INSTANCES,
+        workloads=(workload,),
+        quanta=(10.0, 1.0),
+        policies=("round_robin", "random"),
+    )
+
+
+def _check_single_circuit_shape(figure, name: str):
+    """Shared assertions for the one-circuit workloads (knee after 4)."""
+    for policy in ("Round Robin", "Random"):
+        for quantum in ("10ms", "1ms"):
+            norm = normalised(_series(figure, name, policy, quantum))
+            # Points at n = 1, 2, 3 are pre-knee: near-linear.
+            assert max(norm[:3]) < 1.2, (policy, quantum, norm)
+            # n = 8 is post-knee: visibly super-linear at 1 ms.
+    rr_1ms = normalised(_series(figure, name, "Round Robin", "1ms"))[-1]
+    rr_10ms = normalised(_series(figure, name, "Round Robin", "10ms"))[-1]
+    assert rr_1ms > rr_10ms, "1 ms must suffer more than 10 ms"
+    rnd_1ms = normalised(_series(figure, name, "Random", "1ms"))[-1]
+    assert rnd_1ms <= rr_1ms * 1.05, "random should not lose to round robin"
+
+
+def test_fig2_alpha(once):
+    figure = once(_regenerate, "alpha")
+    _check_single_circuit_shape(figure, "Alpha")
+    emit("fig2_alpha", render_table(figure) + "\n\n" + render_figure(figure))
+    once.benchmark.extra_info["knees"] = {
+        k: v for k, v in contention_knees(figure).items()
+    }
+
+
+def test_fig2_twofish(once):
+    figure = once(_regenerate, "twofish")
+    _check_single_circuit_shape(figure, "Twofish")
+    emit("fig2_twofish", render_table(figure) + "\n\n" + render_figure(figure))
+
+
+def test_fig2_echo(once):
+    figure = once(_regenerate, "echo")
+    # Echo registers two circuits: contention after just two instances.
+    for quantum in ("10ms", "1ms"):
+        norm = normalised(_series(figure, "Echo", "Round Robin", quantum))
+        assert norm[1] < 1.2          # n=2 still linear
+    one_ms = normalised(_series(figure, "Echo", "Round Robin", "1ms"))
+    assert one_ms[2] > 1.25           # n=3 is past the knee at 1 ms
+    emit("fig2_echo", render_table(figure) + "\n\n" + render_figure(figure))
+
+
+def test_fig2_full_grid(once):
+    """The complete Figure 2 (all three workloads on one plot)."""
+    figure = once(
+        figure2,
+        scale=BENCH_SCALE,
+        instances=SWEEP_INSTANCES,
+    )
+    assert len(figure.series) == 12  # 3 workloads x 2 policies x 2 quanta
+    emit("fig2_full", render_table(figure) + "\n\n" + render_figure(figure))
+    once.benchmark.extra_info["series"] = {
+        s.label: s.ys() for s in figure.series
+    }

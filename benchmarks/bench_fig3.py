@@ -1,0 +1,76 @@
+"""Figure 3 — the software dispatch test.
+
+Circuit switching (round robin) against deferring to registered software
+alternatives when the array is full.  Reproduction targets (§5.1.2):
+
+* the contention knees fall exactly where Figure 2 put them;
+* software dispatch performance is insensitive to the scheduling
+  quantum ("due to the lack of circuit switches");
+* at small quanta the software path beats circuit switching for the
+  thrash-prone echo workload; at 10 ms circuit switching wins
+  ("the software dispatch routine is only useful when an application
+  suffers many circuit switches").
+"""
+
+from conftest import FINE_SCALE, emit, normalised
+
+from repro.sim.figures import figure3
+from repro.sim.report import render_figure, render_table
+
+INSTANCES = (1, 2, 3, 5, 8)
+
+
+def test_fig3_echo(once):
+    figure = once(
+        figure3,
+        scale=FINE_SCALE,
+        instances=INSTANCES,
+        workloads=("echo",),
+    )
+    soft_10 = figure.series_by_label("Echo, Soft, 10ms")
+    soft_1 = figure.series_by_label("Echo, Soft, 1ms")
+    rr_10 = figure.series_by_label("Echo, Round Robin, 10ms")
+    rr_1 = figure.series_by_label("Echo, Round Robin, 1ms")
+
+    # Quantum insensitivity of the software path.
+    for n in INSTANCES:
+        spread = abs(soft_10.y_at(n) - soft_1.y_at(n)) / soft_10.y_at(n)
+        assert spread < 0.2, (n, spread)
+
+    # At 1 ms, soft roughly ties switching at the knee (n=3) and wins
+    # decisively once thrash compounds.
+    assert soft_1.y_at(3) < rr_1.y_at(3) * 1.1
+    assert soft_1.y_at(5) < rr_1.y_at(5)
+    assert soft_1.y_at(8) < rr_1.y_at(8)
+    # At 10 ms, switching is cheap enough that soft loses.
+    assert soft_10.y_at(5) > rr_10.y_at(5)
+    emit("fig3_echo", render_table(figure) + "\n\n" + render_figure(figure))
+    once.benchmark.extra_info["series"] = {s.label: s.ys() for s in figure.series}
+
+
+def test_fig3_alpha(once):
+    figure = once(
+        figure3,
+        scale=FINE_SCALE,
+        instances=INSTANCES,
+        workloads=("alpha",),
+    )
+    soft_10 = figure.series_by_label("Alpha, Soft, 10ms")
+    soft_1 = figure.series_by_label("Alpha, Soft, 1ms")
+    rr_10 = figure.series_by_label("Alpha, Round Robin, 10ms")
+    rr_1 = figure.series_by_label("Alpha, Round Robin, 1ms")
+
+    # Pre-knee: everything linear and identical-ish.
+    for series in (soft_10, soft_1, rr_10, rr_1):
+        assert max(normalised(series)[:3]) < 1.2
+
+    # Quantum insensitivity of the software path.
+    spread = abs(soft_10.y_at(8) - soft_1.y_at(8)) / soft_10.y_at(8)
+    assert spread < 0.15
+
+    # Soft costs more than 10 ms switching (its per-item penalty), less
+    # than or near the 1 ms switching penalty in the mid-range — the
+    # "lies between" finding.
+    assert soft_10.y_at(5) > rr_10.y_at(5)
+    assert soft_1.y_at(5) < rr_1.y_at(5) * 1.1
+    emit("fig3_alpha", render_table(figure) + "\n\n" + render_figure(figure))

@@ -1,0 +1,57 @@
+"""Ablation: memory-mapped coprocessor interface (paper §3).
+
+The paper's critique of commercial hybrids (Virtex-II Pro, Excalibur,
+Triscend A7): reaching custom hardware over the memory bus adds latency
+to every operand transfer and every invocation.  Same workloads, same
+kernel — only the datapath coupling changes.
+"""
+
+from conftest import BENCH_SCALE, emit
+
+from repro.sim.experiment import ExperimentSpec, run_experiment
+
+
+def _compare(workload: str, items_hint: int | None = None):
+    rows = {}
+    for architecture in ("proteus", "memmap"):
+        rows[architecture] = run_experiment(
+            ExperimentSpec(
+                workload=workload,
+                instances=1,
+                architecture=architecture,
+                scale=BENCH_SCALE,
+            ),
+            verify=False,
+        )
+    return rows
+
+
+def _compare_all():
+    return {name: _compare(name) for name in ("alpha", "echo", "twofish")}
+
+
+def test_memmap_interface_cost(once):
+    results = once(_compare_all)
+    lines = [
+        "Memory-mapped interface ablation (single instance per workload)",
+        f"{'workload':<10} {'in-datapath':>13} {'memory-mapped':>15} "
+        f"{'penalty':>9}",
+    ]
+    penalties = {}
+    for name, rows in results.items():
+        proteus = rows["proteus"].makespan
+        memmap = rows["memmap"].makespan
+        assert memmap > proteus, name
+        penalty = memmap / proteus - 1
+        penalties[name] = penalty
+        lines.append(
+            f"{name:<10} {proteus:>13,} {memmap:>15,} {penalty:>8.1%}"
+        )
+
+    # Fine-grained workloads (an invocation per item) suffer most; the
+    # paper's point that issue latency matters for this usage model.
+    assert penalties["alpha"] > 0.15
+    emit("memmap_baseline", "\n".join(lines))
+    once.benchmark.extra_info["penalties"] = {
+        k: round(v, 3) for k, v in penalties.items()
+    }

@@ -1,0 +1,58 @@
+"""Ablation: PRISC-style flush-on-context-switch dispatch (paper §3).
+
+The paper adopts PRISC's PFU layout but replaces its per-process ID
+registers with the (PID, CID)-tagged TLB so nothing is flushed at a
+context switch.  This benchmark isolates that design decision: identical
+machines, identical workloads, one flushes its dispatch state every
+switch.
+"""
+
+from conftest import BENCH_SCALE, emit
+
+from repro.sim.experiment import ExperimentSpec, run_experiment
+
+
+def _compare(instances: int, quantum_ms: float):
+    rows = {}
+    for architecture in ("proteus", "prisc"):
+        outcome = run_experiment(
+            ExperimentSpec(
+                workload="alpha",
+                instances=instances,
+                quantum_ms=quantum_ms,
+                architecture=architecture,
+                scale=BENCH_SCALE,
+            ),
+            verify=False,
+        )
+        rows[architecture] = outcome
+    return rows
+
+
+def test_prisc_pays_mapping_faults_without_contention(once):
+    """Three circuits on four PFUs: nothing ever moves, yet PRISC faults
+    on every first use after every context switch."""
+    rows = once(_compare, instances=3, quantum_ms=1.0)
+    proteus, prisc = rows["proteus"], rows["prisc"]
+    assert proteus.cis["mapping_faults"] == 0
+    assert prisc.cis["mapping_faults"] > 3 * 3  # >1 per process per few quanta
+    assert prisc.makespan > proteus.makespan
+    lines = [
+        "PRISC ablation (3 alpha instances, no PFU contention, 1 ms quanta)",
+        f"{'architecture':<10} {'makespan':>12} {'mapping faults':>15} {'loads':>6}",
+    ]
+    for name, outcome in rows.items():
+        lines.append(
+            f"{name:<10} {outcome.makespan:>12,} "
+            f"{outcome.cis['mapping_faults']:>15,} {outcome.cis['loads']:>6}"
+        )
+    overhead = (prisc.makespan - proteus.makespan) / proteus.makespan
+    lines.append(f"\nPRISC flush overhead: {overhead:.1%}")
+    emit("prisc_baseline", "\n".join(lines))
+    once.benchmark.extra_info["flush_overhead"] = round(overhead, 4)
+
+
+def test_prisc_under_contention(once):
+    """With swapping dominating, the flush still adds measurable cost."""
+    rows = once(_compare, instances=6, quantum_ms=1.0)
+    assert rows["prisc"].makespan >= rows["proteus"].makespan

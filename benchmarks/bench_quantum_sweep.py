@@ -1,0 +1,62 @@
+"""Ablation: scheduling-quantum sweep, including the 100 ms batch quanta
+of Windows NT / BSD (paper §5.1.3).
+
+"In other operating systems, such as Windows NT and BSD variants which
+use a batch scheduler period of 100ms, the benefits would be even
+better."  We sweep the quantum across two orders of magnitude under
+fixed contention and confirm that switching overhead shrinks
+monotonically as quanta grow.
+"""
+
+from conftest import FINE_SCALE, emit
+
+from repro.sim.experiment import ExperimentSpec, run_experiment
+
+QUANTA_MS = (0.5, 1.0, 10.0, 100.0)
+
+
+def _sweep():
+    outcomes = {}
+    for quantum_ms in QUANTA_MS:
+        outcomes[quantum_ms] = run_experiment(
+            ExperimentSpec(
+                workload="alpha",
+                instances=6,
+                quantum_ms=quantum_ms,
+                scale=FINE_SCALE,
+            ),
+            verify=False,
+        )
+    return outcomes
+
+
+def test_quantum_sweep(once):
+    outcomes = once(_sweep)
+
+    makespans = [outcomes[q].makespan for q in QUANTA_MS]
+    # Bigger quanta -> fewer switches -> fewer reloads -> faster.
+    assert makespans == sorted(makespans, reverse=True), makespans
+    # The NT/BSD prediction: at 100 ms the management overhead is tiny.
+    overhead_100ms = outcomes[100.0].cis["evictions"]
+    overhead_1ms = outcomes[1.0].cis["evictions"]
+    assert overhead_100ms * 10 < overhead_1ms
+
+    lines = [
+        "Quantum sweep (6 alpha instances, round-robin replacement)",
+        f"{'quantum':>9} {'makespan':>12} {'evictions':>10} "
+        f"{'config bytes':>14}",
+    ]
+    for quantum_ms in QUANTA_MS:
+        outcome = outcomes[quantum_ms]
+        total_bytes = (
+            outcome.cis["static_bytes_moved"]
+            + outcome.cis["state_bytes_moved"]
+        )
+        lines.append(
+            f"{quantum_ms:>7g}ms {outcome.makespan:>12,} "
+            f"{outcome.cis['evictions']:>10,} {total_bytes:>14,}"
+        )
+    emit("quantum_sweep", "\n".join(lines))
+    once.benchmark.extra_info["makespans"] = dict(
+        zip(map(str, QUANTA_MS), makespans)
+    )

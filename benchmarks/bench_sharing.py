@@ -1,0 +1,84 @@
+"""Ablation: instance sharing between processes (paper §4.2, §5.1).
+
+"In the final system applications using the same circuits would attempt
+to share instances, just changing the state in a single PFU; however we
+are interested in the effect of overloading here, so sharing is not
+allowed."  This benchmark enables what the paper disabled and measures
+what it would have bought: state-section swaps (hundreds of bytes)
+instead of full static reloads (54 KB).
+"""
+
+from conftest import FINE_SCALE, emit
+
+from repro.sim.experiment import ExperimentSpec, run_experiment
+
+
+def _run(allow_sharing: bool):
+    # 6 identical alpha processes on 4 PFUs: heavy same-circuit pressure.
+    return run_experiment(
+        ExperimentSpec(
+            workload="alpha",
+            instances=6,
+            quantum_ms=1.0,
+            allow_sharing=allow_sharing,
+            scale=FINE_SCALE,
+        ),
+        verify=False,
+    )
+
+
+def _run_reuse():
+    """Static-image reuse only (no instance sharing)."""
+    from repro.apps.registry import get_workload
+    from repro.kernel.porsche import Porsche
+
+    spec = ExperimentSpec(
+        workload="alpha", instances=6, quantum_ms=1.0, scale=FINE_SCALE
+    )
+    config = spec.build_config().derive(reuse_resident_static=True)
+    kernel = Porsche(config)
+    workload = get_workload("alpha")
+    program = workload.build(items=spec.resolve_items())
+    processes = [kernel.spawn(program) for __ in range(6)]
+    kernel.run()
+    return max(p.completion_cycle for p in processes), kernel.cis.stats
+
+
+def _run_all():
+    paper = _run(allow_sharing=False)
+    shared = _run(allow_sharing=True)
+    reuse_makespan, reuse_stats = _run_reuse()
+    return paper, shared, reuse_makespan, reuse_stats
+
+
+def test_sharing_ablation(once):
+    paper, shared, reuse_makespan, reuse_stats = once(_run_all)
+
+    # Sharing replaces evictions/loads with cheap state swaps.
+    assert shared.cis["state_swaps"] > 0
+    assert paper.cis["state_swaps"] == 0
+    assert shared.cis["static_bytes_moved"] < paper.cis["static_bytes_moved"]
+    assert shared.makespan < paper.makespan
+    # Static-image reuse alone also eliminates repeat static transfers.
+    assert reuse_stats.static_bytes_moved < paper.cis["static_bytes_moved"]
+
+    lines = [
+        "Instance sharing ablation (6 identical alpha processes, 1 ms quanta)",
+        f"{'variant':<26} {'makespan':>12} {'static bytes':>14} "
+        f"{'state bytes':>12}",
+        f"{'paper (no sharing)':<26} {paper.makespan:>12,} "
+        f"{paper.cis['static_bytes_moved']:>14,} "
+        f"{paper.cis['state_bytes_moved']:>12,}",
+        f"{'static-image reuse':<26} {reuse_makespan:>12,} "
+        f"{reuse_stats.static_bytes_moved:>14,} "
+        f"{reuse_stats.state_bytes_moved:>12,}",
+        f"{'full instance sharing':<26} {shared.makespan:>12,} "
+        f"{shared.cis['static_bytes_moved']:>14,} "
+        f"{shared.cis['state_bytes_moved']:>12,}",
+    ]
+    emit("sharing", "\n".join(lines))
+    once.benchmark.extra_info["makespans"] = {
+        "paper": paper.makespan,
+        "reuse": reuse_makespan,
+        "sharing": shared.makespan,
+    }

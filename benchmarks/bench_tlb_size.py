@@ -1,0 +1,64 @@
+"""Ablation: dispatch TLB capacity (paper §4.2).
+
+"This has one drawback: more mappings may be needed than can fit in the
+TLB, so a custom instruction that is loaded in hardware may fault if its
+mapping has been pushed out the TLB."  We sweep the TLB size below and
+above the live tuple count and measure the resulting mapping faults —
+faults the CIS repairs without any configuration transfer.
+"""
+
+from conftest import BENCH_SCALE, emit
+
+from repro.sim.experiment import ExperimentSpec, run_experiment
+
+#: 3 alpha instances = 3 live tuples on 4 PFUs (no load contention, so
+#: every fault is a pure mapping fault).
+INSTANCES = 3
+
+
+def _sweep():
+    outcomes = {}
+    for entries in (1, 2, 4, 16):
+        outcomes[entries] = run_experiment(
+            ExperimentSpec(
+                workload="alpha",
+                instances=INSTANCES,
+                quantum_ms=1.0,
+                tlb_entries=entries,
+                scale=BENCH_SCALE,
+            ),
+            verify=False,
+        )
+    return outcomes
+
+
+def test_tlb_capacity_sweep(once):
+    outcomes = once(_sweep)
+
+    # Undersized TLBs fault on mappings; no extra loads ever happen.
+    assert outcomes[1].cis["mapping_faults"] > 0
+    assert outcomes[2].cis["mapping_faults"] > 0
+    assert outcomes[16].cis["mapping_faults"] == 0
+    for outcome in outcomes.values():
+        assert outcome.cis["loads"] == INSTANCES
+        assert outcome.cis["static_bytes_moved"] == (
+            outcomes[16].cis["static_bytes_moved"]
+        )
+
+    # Smaller TLB -> more mapping faults -> longer makespan.
+    assert outcomes[1].makespan >= outcomes[16].makespan
+
+    lines = [
+        f"TLB capacity sweep ({INSTANCES} alpha instances, no PFU contention)",
+        f"{'entries':>8} {'makespan':>12} {'mapping faults':>15}",
+    ]
+    for entries, outcome in sorted(outcomes.items()):
+        lines.append(
+            f"{entries:>8} {outcome.makespan:>12,} "
+            f"{outcome.cis['mapping_faults']:>15,}"
+        )
+    emit("tlb_size", "\n".join(lines))
+    once.benchmark.extra_info["mapping_faults"] = {
+        entries: outcome.cis["mapping_faults"]
+        for entries, outcome in outcomes.items()
+    }

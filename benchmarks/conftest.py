@@ -1,0 +1,59 @@
+"""Shared machinery for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one table or figure from the paper's
+evaluation (or one ablation from DESIGN.md) at a reduced scale:
+
+* the *simulated* results — completion cycles, knees, byte counts — are
+  written to ``benchmarks/results/<name>.txt`` and attached to the
+  pytest-benchmark ``extra_info`` so ``--benchmark-json`` carries them;
+* the *wall-clock* cost of regenerating the figure is what
+  pytest-benchmark times.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+#: Scale for benchmark sweeps (coarser than the CLI default: benches run
+#: dozens of experiment points).
+BENCH_SCALE = 1 / 8000
+
+#: Finer scale for the benches whose phenomena degenerate at 1/8000
+#: (quantum < ~20 cycles).
+FINE_SCALE = 1 / 2000
+
+#: Instance counts for sweeps: enough to show both knees (echo at 2,
+#: single-circuit workloads at 4) without running the full 1..8 grid.
+SWEEP_INSTANCES = (1, 2, 3, 5, 8)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Write a rendered results artefact next to the benchmarks."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def normalised(series) -> list[float]:
+    """y / (x * y(1)) per point: 1.0 means perfectly linear scaling."""
+    base = series.y_at(1)
+    return [round(p.y / (base * p.x), 3) for p in series.points]
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a figure-regeneration callable exactly once under timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    runner.benchmark = benchmark
+    return runner

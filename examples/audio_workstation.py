@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Audio workstation: internal contention with two circuits per process.
+
+The echo workload uses *two* custom instructions in a tight loop (a
+feedback comb and a wet/dry mixer), so a four-PFU array saturates at just
+two concurrent tracks.  This example processes several audio tracks
+concurrently and shows how the choice between circuit switching and
+software dispatch changes behaviour — the essence of the paper's
+Figure 3.
+
+Run with::
+
+    python examples/audio_workstation.py
+"""
+
+from repro import Porsche
+from repro.apps.echo import build_echo_program, echo_reference
+from repro.sim.scaling import scaled_config
+
+TRACKS = 4
+SAMPLES = 300
+SCALE = 1 / 2000
+
+
+def run(soft: bool) -> tuple[int, dict]:
+    config = scaled_config(
+        SCALE, quantum_ms=1.0, prefer_software_when_full=soft
+    )
+    kernel = Porsche(config)
+    processes = [
+        kernel.spawn(build_echo_program(items=SAMPLES, seed=7))
+        for __ in range(TRACKS)
+    ]
+    kernel.run()
+    expected = echo_reference(SAMPLES, seed=7)
+    for process in processes:
+        assert process.read_result("dst") == expected, "audio corrupted!"
+    stats = kernel.cis.stats
+    return kernel.clock, {
+        "loads": stats.loads,
+        "evictions": stats.evictions,
+        "soft deferrals": stats.soft_deferrals,
+        "config bytes moved": stats.total_bytes_moved,
+    }
+
+
+def main() -> None:
+    print(f"{TRACKS} echo tracks x {SAMPLES} samples, "
+          f"2 custom instructions per track, 4 PFUs\n")
+    switching_cycles, switching = run(soft=False)
+    soft_cycles, soft = run(soft=True)
+
+    print(f"{'':24} {'circuit switching':>18} {'software dispatch':>18}")
+    print(f"{'completion (cycles)':24} {switching_cycles:>18,} {soft_cycles:>18,}")
+    for key in switching:
+        print(f"{key:24} {switching[key]:>18,} {soft[key]:>18,}")
+
+    winner = "software dispatch" if soft_cycles < switching_cycles else (
+        "circuit switching"
+    )
+    print(f"\nAt this quantum size, {winner} wins — and every output "
+          "sample is bit-exact either way.")
+
+
+if __name__ == "__main__":
+    main()

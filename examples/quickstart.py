@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""Quickstart: define a custom instruction, register it, run a program.
+
+This walks the whole Proteus stack in one file:
+
+1. define a custom instruction (a population-count circuit) as a
+   :class:`~repro.core.circuit.CircuitSpec`;
+2. write a small ProteanARM assembly program that registers it with the
+   OS (``SWI #1``) and uses it via ``CDP``, with a software alternative
+   for times of contention;
+3. boot a POrSCHE kernel, spawn the program, run it to completion;
+4. inspect the results and the management statistics.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import MachineConfig, Porsche
+from repro.core.circuit import CircuitSpec, FunctionBehaviour
+from repro.cpu.program import Program
+
+# ----------------------------------------------------------------------
+# 1. The custom instruction: popcount(a) + popcount(b), 3-cycle latency.
+# ----------------------------------------------------------------------
+
+
+def popcount2(a: int, b: int, state: list[int]) -> int:
+    return bin(a).count("1") + bin(b).count("1")
+
+
+POPCOUNT = CircuitSpec(
+    name="popcount2",
+    behaviour=FunctionBehaviour(fn=popcount2, fixed_latency=3),
+    clb_count=120,
+)
+
+# ----------------------------------------------------------------------
+# 2. The application.  It counts the set bits of eight word pairs with
+#    the custom instruction; the software alternative computes the same
+#    thing with a shift-and-mask loop, reading its operands through the
+#    special registers (LDO) and delivering the result with STO.
+# ----------------------------------------------------------------------
+
+SOURCE = """
+.equ N, 8
+.text
+main:
+    MOV  r0, #1            ; CID 1
+    MOV  r1, #0            ; circuit table index 0
+    MOV  r2, #soft_ptr
+    LDR  r2, [r2]          ; address of the software alternative
+    SWI  #1                ; register with the OS
+
+    MOV  r4, #src_a
+    MOV  r5, #src_b
+    MOV  r6, #dst
+    MOV  r7, #N
+loop:
+    LDR  r0, [r4], #4
+    LDR  r1, [r5], #4
+    MCR  f0, r0
+    MCR  f1, r1
+    CDP  #1, f2, f0, f1    ; popcount in hardware (or software)
+    MRC  r2, f2
+    STR  r2, [r6], #4
+    SUB  r7, r7, #1
+    CMP  r7, #0
+    BNE  loop
+    MOV  r0, #0
+    SWI  #0                ; exit
+
+popcount_soft:
+    LDO  r0, #0            ; operand a
+    LDO  r1, #1            ; operand b
+    MOV  r2, #0            ; result
+    MOV  r3, #32
+softloop:
+    AND  r8, r0, #1
+    ADD  r2, r2, r8
+    AND  r8, r1, #1
+    ADD  r2, r2, r8
+    LSR  r0, r0, #1
+    LSR  r1, r1, #1
+    SUB  r3, r3, #1
+    CMP  r3, #0
+    BNE  softloop
+    STO  r2                ; deliver the result
+    BX   lr
+
+.data
+soft_ptr:
+    .word popcount_soft
+src_a:
+    .word 0xFFFFFFFF, 0x0F0F0F0F, 0x00000001, 0x80000000
+    .word 0x12345678, 0xDEADBEEF, 0x00000000, 0xAAAAAAAA
+src_b:
+    .word 0x00000000, 0xF0F0F0F0, 0x00000003, 0x80000001
+    .word 0x87654321, 0xFEEDFACE, 0xFFFFFFFF, 0x55555555
+dst:
+    .space 32
+"""
+
+
+def main() -> None:
+    program = Program.from_source(
+        "quickstart",
+        SOURCE,
+        circuit_table=[POPCOUNT],
+        result_labels={"dst": 32},
+    )
+
+    # 3. Boot a kernel (a scaled machine so this runs instantly).
+    config = MachineConfig(cycles_per_ms=1000, quantum_ms=1.0)
+    kernel = Porsche(config)
+    process = kernel.spawn(program)
+    kernel.run()
+
+    # 4. Results and statistics.
+    print(f"process exited with status {process.exit_status} "
+          f"after {process.completion_cycle:,} cycles")
+    results = process.read_result("dst")
+    counts = [
+        int.from_bytes(results[i:i + 4], "little") for i in range(0, 32, 4)
+    ]
+    print(f"popcounts: {counts}")
+    src_a = [0xFFFFFFFF, 0x0F0F0F0F, 0x00000001, 0x80000000,
+             0x12345678, 0xDEADBEEF, 0x00000000, 0xAAAAAAAA]
+    src_b = [0x00000000, 0xF0F0F0F0, 0x00000003, 0x80000001,
+             0x87654321, 0xFEEDFACE, 0xFFFFFFFF, 0x55555555]
+    expected = [popcount2(a, b, []) for a, b in zip(src_a, src_b)]
+    assert counts == expected, "hardware result mismatch!"
+    print("verified against Python reference")
+
+    stats = kernel.cis.stats
+    print(f"\nmanagement: {stats.loads} circuit load(s), "
+          f"{stats.total_bytes_moved:,} configuration bytes moved, "
+          f"{kernel.stats.faults} fault(s) handled")
+    print(f"dispatch resolutions: "
+          f"{dict((k.value, v) for k, v in kernel.coprocessor.dispatch.resolutions.items())}")
+
+
+if __name__ == "__main__":
+    main()

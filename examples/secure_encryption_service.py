@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""An encryption 'service': Twofish acceleration with full verification.
+
+Models the paper's motivating scenario for the Twofish workload: several
+workstation applications encrypting independent data streams, each with
+its own key baked into its own circuit instance.  Demonstrates:
+
+* full Twofish-128 (validated against the specification's test vector);
+* the streaming five-invocation circuit protocol over the two-word PFU
+  interface;
+* per-process circuit instances — same circuit design, different key
+  material — competing for PFUs;
+* end-to-end verification: every simulated ciphertext decrypts back to
+  the original plaintext with the pure-Python cipher.
+
+Run with::
+
+    python examples/secure_encryption_service.py
+"""
+
+from repro import MachineConfig, Porsche
+from repro.apps.data import synthetic_plaintext
+from repro.apps.twofish import Twofish, build_twofish_program, workload_key
+
+BLOCKS = 6
+STREAMS = 5  # five streams on four PFUs: one must be managed
+
+
+def main() -> None:
+    # One stream per process, each with its own key (its own seed).
+    config = MachineConfig(
+        cycles_per_ms=1000,
+        quantum_ms=0.5,
+        config_bus_bytes_per_cycle=256,
+    )
+    kernel = Porsche(config)
+
+    processes = []
+    for stream in range(STREAMS):
+        program = build_twofish_program(items=BLOCKS, seed=stream)
+        processes.append((stream, kernel.spawn(program)))
+
+    print(f"encrypting {STREAMS} streams of {BLOCKS} blocks "
+          f"on {config.pfu_count} PFUs...")
+    kernel.run()
+
+    all_ok = True
+    for stream, process in processes:
+        cipher = Twofish(key=workload_key(stream))
+        plaintext = synthetic_plaintext(BLOCKS, seed=stream)
+        ciphertext = process.read_result("dst")
+        ok = cipher.decrypt(ciphertext) == plaintext
+        all_ok &= ok
+        print(f"  stream {stream}: pid={process.pid} "
+              f"finished at {process.completion_cycle:>8,} cycles, "
+              f"decrypts correctly: {ok}")
+    assert all_ok
+
+    stats = kernel.cis.stats
+    print(f"\nmanagement summary:")
+    print(f"  circuit loads      : {stats.loads}")
+    print(f"  evictions          : {stats.evictions}")
+    print(f"  state bytes moved  : {stats.state_bytes_moved:,}")
+    print(f"  static bytes moved : {stats.static_bytes_moved:,}")
+    print(f"  faults by kind     : {kernel.stats.fault_actions}")
+    print("\nFive competing key-specific circuit instances shared four "
+          "PFUs;\nthe fifth was paged in and out by the CIS without any "
+          "stream noticing.")
+
+
+if __name__ == "__main__":
+    main()

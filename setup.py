@@ -1,0 +1,17 @@
+"""Legacy setup shim so `pip install -e .` works in offline environments
+(no wheel package available for PEP 517 editable builds)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of Dales, 'Managing a Reconfigurable Processor in a "
+        "General Purpose Workstation Environment' (DATE 2003)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    entry_points={"console_scripts": ["proteus-repro=repro.sim.cli:main"]},
+)

@@ -1,0 +1,85 @@
+"""Reproduction of *Managing a Reconfigurable Processor in a General
+Purpose Workstation Environment* (Michael Dales, DATE 2003).
+
+The paper's **Proteus architecture** places Field Programmable Logic in a
+processor function unit as a set of PFUs behind a (PID, CID)-tagged TLB
+dispatch mechanism, so an operating system can share the fabric between
+competing applications without flushing state at context switches.  The
+**ProteanARM** demonstrator (ARM7 + Proteus coprocessor) runs the
+**POrSCHE** kernel, whose Custom Instruction Scheduler loads, unloads and
+software-defers circuits under contention.
+
+Quick start::
+
+    from repro import MachineConfig, Porsche, get_workload
+
+    kernel = Porsche(MachineConfig(cycles_per_ms=1000))
+    program = get_workload("alpha").build(items=256)
+    process = kernel.spawn(program)
+    kernel.run()
+    print(process.completion_cycle)
+
+or regenerate the paper's figures::
+
+    python -m repro fig2
+    python -m repro fig3
+    python -m repro speedup
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
+results against the paper's.
+"""
+
+from .config import DEFAULT_CONFIG, MachineConfig
+from .errors import ReproError
+from .core import (
+    CircuitSpec,
+    DispatchKind,
+    DispatchUnit,
+    IDTuple,
+    PFU,
+    ProteusCoprocessor,
+)
+from .cpu import CPU, Program, assemble
+from .kernel import Porsche, Process, make_policy
+from .apps import WORKLOADS, Workload, WorkloadVariant, get_workload
+from .sim import (
+    DEFAULT_SCALE,
+    ExperimentSpec,
+    figure2,
+    figure3,
+    run_experiment,
+    scaled_config,
+    speedup_table,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "MachineConfig",
+    "ReproError",
+    "CircuitSpec",
+    "DispatchKind",
+    "DispatchUnit",
+    "IDTuple",
+    "PFU",
+    "ProteusCoprocessor",
+    "CPU",
+    "Program",
+    "assemble",
+    "Porsche",
+    "Process",
+    "make_policy",
+    "WORKLOADS",
+    "Workload",
+    "WorkloadVariant",
+    "get_workload",
+    "DEFAULT_SCALE",
+    "ExperimentSpec",
+    "figure2",
+    "figure3",
+    "run_experiment",
+    "scaled_config",
+    "speedup_table",
+    "__version__",
+]

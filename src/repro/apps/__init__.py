@@ -1,0 +1,43 @@
+"""The evaluation workloads (paper §5.1).
+
+Three test applications drive the experiments, chosen by the paper so
+that contention appears at different points on a four-PFU array:
+
+* **alpha blending** image processing — one custom instruction, so the
+  array saturates at four concurrent instances;
+* **Twofish encryption** — one custom instruction (a full Twofish-128
+  implementation backs both the circuit model and the key-dependent
+  tables its software alternative uses);
+* **audio echo** processing — *two* custom instructions in a tight loop,
+  so contention starts at just two concurrent instances.
+
+Each workload builds three program variants from the same data:
+``accelerated`` (CDP custom instructions, optionally registering software
+alternatives) and ``software`` (the pure-software baseline the paper
+compares against).  All variants produce byte-identical results, verified
+against the Python functional models.
+"""
+
+from .data import synthetic_audio, synthetic_image, synthetic_plaintext
+from .workloads import Workload, WorkloadVariant, build_variant
+from .alphablend import alpha_blend_pixel, make_alpha_workload
+from .twofish import Twofish, make_twofish_workload
+from .echo import EchoModel, make_echo_workload
+from .registry import WORKLOADS, get_workload
+
+__all__ = [
+    "synthetic_audio",
+    "synthetic_image",
+    "synthetic_plaintext",
+    "Workload",
+    "WorkloadVariant",
+    "build_variant",
+    "alpha_blend_pixel",
+    "make_alpha_workload",
+    "Twofish",
+    "make_twofish_workload",
+    "EchoModel",
+    "make_echo_workload",
+    "WORKLOADS",
+    "get_workload",
+]

@@ -1,0 +1,265 @@
+"""Alpha-blending image processing (paper §5.1, one custom instruction).
+
+The custom instruction blends two packed RGBA pixels with a constant
+blend factor held in circuit state::
+
+    out_c = (alpha * a_c + (256 - alpha) * b_c + 128) >> 8   per channel
+
+With one circuit per process, four concurrent instances fill the
+ProteanARM's four PFUs, so the paper expects the contention knee at four
+processes for this application.
+"""
+
+from __future__ import annotations
+
+from ..core.circuit import CircuitSpec, FunctionBehaviour
+from .data import synthetic_image, words_to_bytes, words_to_directive
+from .workloads import Workload, WorkloadVariant, memory_size_for
+from ..cpu.program import Program
+
+#: Default constant blend factor (0..256).
+DEFAULT_ALPHA = 160
+
+#: CLBs a synthesised four-channel blender plausibly occupies (estimate
+#: in the spirit of the ProteanARM's 500-CLB PFUs).
+ALPHA_CLBS = 380
+
+#: Circuit latency in cycles: four channels blended in parallel, two
+#: multiply stages plus a pack stage.
+ALPHA_LATENCY = 4
+
+
+def alpha_blend_pixel(a: int, b: int, alpha: int = DEFAULT_ALPHA) -> int:
+    """The functional model: blend two packed RGBA words."""
+    out = 0
+    inv = 256 - alpha
+    for shift in (0, 8, 16, 24):
+        ac = (a >> shift) & 0xFF
+        bc = (b >> shift) & 0xFF
+        out |= (((alpha * ac + inv * bc + 128) >> 8) & 0xFF) << shift
+    return out
+
+
+def make_alpha_circuit(alpha: int = DEFAULT_ALPHA) -> CircuitSpec:
+    """The blender as a registrable custom instruction."""
+
+    def compute(a: int, b: int, state: list[int]) -> int:
+        return alpha_blend_pixel(a, b, state[0])
+
+    return CircuitSpec(
+        name="alpha_blend",
+        behaviour=FunctionBehaviour(fn=compute, fixed_latency=ALPHA_LATENCY),
+        clb_count=ALPHA_CLBS,
+        app_state_words=1,
+        initial_state=(alpha,),
+    )
+
+
+# ---------------------------------------------------------------------------
+# assembly kernels
+# ---------------------------------------------------------------------------
+
+_BLEND_BODY = """\
+    ; naive per-channel blend: r0 (pixel a) x r1 (pixel b) -> r2;
+    ; clobbers r3, r8-r11.  This is the pre-acceleration application
+    ; code the paper's "order of magnitude" comparison runs against.
+    MOV  r8, #alpha_word
+    LDR  r8, [r8]          ; alpha
+    RSB  r9, r8, #256      ; 256 - alpha
+    MOV  r2, #0            ; packed result
+    MOV  r3, #0            ; channel shift
+{label}:
+    LSR  r10, r0, r3
+    AND  r10, r10, #0xFF
+    LSR  r11, r1, r3
+    AND  r11, r11, #0xFF
+    MUL  r10, r10, r8
+    MUL  r11, r11, r9
+    ADD  r10, r10, r11
+    ADD  r10, r10, #128
+    LSR  r10, r10, #8
+    LSL  r10, r10, r3
+    ORR  r2, r2, r10
+    ADD  r3, r3, #8
+    CMP  r3, #32
+    BNE  {label}
+"""
+
+#: Optimised software alternative registered next to the circuit (§4.3):
+#: the classic packed trick blends channels 0/2 and 1/3 two-at-a-time in
+#: 16-bit lanes.  Lane values never exceed 255*256 + 128, so the result
+#: is bit-identical to the per-channel formula.  Constants come from a
+#: small literal pool (``blend_consts``).
+_BLEND_SOFT_PACKED = """\
+blend_soft:
+    LDO  r0, #0            ; pixel a
+    LDO  r1, #1            ; pixel b
+    MOV  r8, #blend_consts
+    LDR  r9, [r8, #4]      ; 256 - alpha
+    LDR  r10, [r8, #8]     ; 0x00FF00FF
+    LDR  r11, [r8, #12]    ; 0x00800080 (per-lane +128 rounding)
+    LDR  r8, [r8]          ; alpha
+    AND  r2, r0, r10       ; channels 0 and 2
+    MUL  r2, r2, r8
+    AND  r3, r1, r10
+    MUL  r3, r3, r9
+    ADD  r2, r2, r3
+    ADD  r2, r2, r11
+    LSR  r2, r2, #8
+    AND  r2, r2, r10       ; blended low lanes
+    LSR  r3, r0, #8        ; channels 1 and 3
+    AND  r3, r3, r10
+    MUL  r3, r3, r8
+    LSR  r0, r1, #8
+    AND  r0, r0, r10
+    MUL  r0, r0, r9
+    ADD  r3, r3, r0
+    ADD  r3, r3, r11
+    LSR  r3, r3, #8
+    AND  r3, r3, r10
+    LSL  r3, r3, #8        ; blended high lanes
+    ORR  r2, r2, r3
+    STO  r2
+    BX   lr
+"""
+
+
+def _accelerated_source(items: int, pixels_a: list[int], pixels_b: list[int],
+                        alpha: int, register_soft: bool) -> str:
+    if register_soft:
+        soft_setup = (
+            "    MOV  r2, #soft_ptr\n"
+            "    LDR  r2, [r2]          ; address of blend_soft\n"
+        )
+    else:
+        soft_setup = "    MOV  r2, #0            ; no software alternative\n"
+    return f"""\
+; alpha blending, accelerated with the alpha_blend custom instruction
+.equ N, {items}
+.text
+main:
+    MOV  r0, #1            ; CID 1
+    MOV  r1, #0            ; circuit table index 0
+{soft_setup}    SWI  #1                ; register custom instruction
+    MOV  r4, #src_a
+    MOV  r5, #src_b
+    MOV  r6, #dst
+    MOV  r7, #N
+loop:
+    LDR  r0, [r4], #4
+    LDR  r1, [r5], #4
+    MCR  f0, r0
+    MCR  f1, r1
+    CDP  #1, f2, f0, f1    ; blend in hardware (or dispatch to software)
+    MRC  r2, f2
+    STR  r2, [r6], #4
+    SUB  r7, r7, #1
+    CMP  r7, #0
+    BNE  loop
+    MOV  r0, #0
+    SWI  #0                ; exit
+
+{_BLEND_SOFT_PACKED}
+.data
+alpha_word:
+    .word {alpha}
+blend_consts:
+    .word {alpha}, {256 - alpha}, 0x00FF00FF, 0x00800080
+soft_ptr:
+    .word blend_soft
+src_a:
+{words_to_directive(pixels_a)}
+src_b:
+{words_to_directive(pixels_b)}
+dst:
+    .space {4 * items}
+"""
+
+
+def _software_source(items: int, pixels_a: list[int], pixels_b: list[int],
+                     alpha: int) -> str:
+    return f"""\
+; alpha blending, pure software (unaccelerated baseline, §5.1.1)
+.equ N, {items}
+.text
+main:
+    MOV  r4, #src_a
+    MOV  r5, #src_b
+    MOV  r6, #dst
+    MOV  r7, #N
+loop:
+    LDR  r0, [r4], #4
+    LDR  r1, [r5], #4
+    BL   blend_fn
+    STR  r2, [r6], #4
+    SUB  r7, r7, #1
+    CMP  r7, #0
+    BNE  loop
+    MOV  r0, #0
+    SWI  #0
+
+blend_fn:
+{_BLEND_BODY.format(label="sw_chan")}    BX   lr
+
+.data
+alpha_word:
+    .word {alpha}
+src_a:
+{words_to_directive(pixels_a)}
+src_b:
+{words_to_directive(pixels_b)}
+dst:
+    .space {4 * items}
+"""
+
+
+def build_alpha_program(
+    items: int,
+    seed: int = 0,
+    variant: WorkloadVariant = WorkloadVariant.ACCELERATED,
+    register_soft: bool = True,
+    alpha: int = DEFAULT_ALPHA,
+) -> Program:
+    """Build one alpha-blending process image."""
+    pixels_a = synthetic_image(items, seed=seed)
+    pixels_b = synthetic_image(items, seed=seed + 1)
+    if variant is WorkloadVariant.ACCELERATED:
+        source = _accelerated_source(
+            items, pixels_a, pixels_b, alpha, register_soft
+        )
+        circuits = [make_alpha_circuit(alpha)]
+    else:
+        source = _software_source(items, pixels_a, pixels_b, alpha)
+        circuits = []
+    data_bytes = 4 * (items * 3 + 2)
+    return Program.from_source(
+        name=f"alpha[{variant.value},{items}]",
+        source=source,
+        circuit_table=circuits,
+        memory_size=memory_size_for(data_bytes),
+        result_labels={"dst": 4 * items},
+    )
+
+
+def alpha_reference(items: int, seed: int = 0, alpha: int = DEFAULT_ALPHA) -> bytes:
+    """Expected ``dst`` contents for a run of ``items`` pixels."""
+    pixels_a = synthetic_image(items, seed=seed)
+    pixels_b = synthetic_image(items, seed=seed + 1)
+    return words_to_bytes(
+        [alpha_blend_pixel(a, b, alpha) for a, b in zip(pixels_a, pixels_b)]
+    )
+
+
+#: Paper-scale item count: ~1.3e8 cycles at ~21 cycles/pixel.
+PAPER_PIXELS = 6_200_000
+
+
+def make_alpha_workload() -> Workload:
+    return Workload(
+        name="alpha",
+        circuits_per_process=1,
+        paper_items=PAPER_PIXELS,
+        min_items=4,
+        builder=build_alpha_program,
+        reference=alpha_reference,
+    )

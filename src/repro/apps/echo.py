@@ -1,0 +1,392 @@
+"""Audio echo processing (paper §5.1, *two* custom instructions).
+
+The echo pipeline uses two custom instructions in a tight loop, so on a
+four-PFU array contention appears at just **two** concurrent instances —
+the early knee the paper designed this workload to show.
+
+Per sample (Q15 fixed point, 16-bit signed samples in 32-bit words):
+
+* ``echo_comb`` — a 4-tap feedback comb: the delayed output plus three
+  recent comb outputs held in circuit state::
+
+      t = sat16(x + (g0*d + g1*t1 + g2*t2 + g3*t3) >> 15)
+
+* ``echo_mix`` — wet/dry mix with a soft-knee limiter::
+
+      v = (wet*t + dry*x) >> 15 ; knee above |24576| ; sat16
+
+The delay line itself lives in main memory (application state belongs in
+memory, not CLB registers — paper §4.1); only the tap gains and the short
+tap history are circuit state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.circuit import CircuitSpec, FunctionBehaviour
+from ..cpu.program import Program
+from .data import synthetic_audio, words_to_bytes, words_to_directive
+from .workloads import Workload, WorkloadVariant, memory_size_for
+
+MASK32 = 0xFFFFFFFF
+
+#: Default filter parameters (Q15).
+DEFAULT_GAINS = (18000, 6000, 3000, 1500)
+DEFAULT_WET = 22000
+DEFAULT_DRY = 10000
+#: Delay-line length in samples (scaled-down; ratios, not length, drive
+#: the scheduling behaviour under study).
+DEFAULT_DELAY = 32
+
+ECHO_COMB_CLBS = 340
+ECHO_MIX_CLBS = 280
+#: Circuit latencies: four parallel MACs then an add/saturate tree.
+COMB_LATENCY = 4
+MIX_LATENCY = 3
+
+KNEE = 24576
+
+
+def _signed(value: int) -> int:
+    value &= MASK32
+    return value - (1 << 32) if value >> 31 else value
+
+
+def _wrap(value: int) -> int:
+    return value & MASK32
+
+
+def sat16(value: int) -> int:
+    """Saturate a signed value to the 16-bit range."""
+    return max(-32768, min(32767, value))
+
+
+def comb_step(x: int, d: int, state: list[int]) -> int:
+    """One ``echo_comb`` evaluation; mutates the tap history in state.
+
+    ``state`` is [g0, g1, g2, g3, t1, t2, t3]; all arithmetic mirrors the
+    assembly kernel exactly (32-bit wrap, arithmetic shifts).
+    """
+    g0, g1, g2, g3, t1, t2, t3 = state
+    acc = _wrap(
+        g0 * _signed(d) + g1 * _signed(t1) + g2 * _signed(t2) + g3 * _signed(t3)
+    )
+    t = sat16(_signed(x) + (_signed(acc) >> 15))
+    state[4:7] = [t & MASK32, t1, t2]
+    return t & MASK32
+
+
+def mix_step(t: int, x: int, state: list[int]) -> int:
+    """One ``echo_mix`` evaluation (wet/dry + soft knee + saturate)."""
+    wet, dry = state
+    v = _signed(_wrap(wet * _signed(t) + dry * _signed(x))) >> 15
+    if v > KNEE:
+        v = KNEE + ((v - KNEE) >> 2)
+    elif v < -KNEE:
+        v = -KNEE + ((v + KNEE) >> 2)
+    return sat16(v) & MASK32
+
+
+@dataclass
+class EchoModel:
+    """Functional model of the whole per-sample pipeline."""
+
+    gains: tuple[int, int, int, int] = DEFAULT_GAINS
+    wet: int = DEFAULT_WET
+    dry: int = DEFAULT_DRY
+    delay: int = DEFAULT_DELAY
+    _comb_state: list[int] = field(init=False)
+    _mix_state: list[int] = field(init=False)
+    _dline: list[int] = field(init=False)
+    _index: int = 0
+
+    def __post_init__(self) -> None:
+        self._comb_state = list(self.gains) + [0, 0, 0]
+        self._mix_state = [self.wet, self.dry]
+        self._dline = [0] * self.delay
+
+    def process(self, samples: list[int]) -> list[int]:
+        out = []
+        for x in samples:
+            d = self._dline[self._index]
+            t = comb_step(x, d, self._comb_state)
+            y = mix_step(t, x, self._mix_state)
+            self._dline[self._index] = t
+            self._index = (self._index + 1) % self.delay
+            out.append(y)
+        return out
+
+
+def make_comb_circuit(gains: tuple[int, int, int, int] = DEFAULT_GAINS) -> CircuitSpec:
+    return CircuitSpec(
+        name="echo_comb",
+        behaviour=FunctionBehaviour(fn=comb_step, fixed_latency=COMB_LATENCY),
+        clb_count=ECHO_COMB_CLBS,
+        app_state_words=7,
+        initial_state=tuple(gains) + (0, 0, 0),
+        promotable=False,
+    )
+
+
+def make_mix_circuit(wet: int = DEFAULT_WET, dry: int = DEFAULT_DRY) -> CircuitSpec:
+    return CircuitSpec(
+        name="echo_mix",
+        behaviour=FunctionBehaviour(fn=mix_step, fixed_latency=MIX_LATENCY),
+        clb_count=ECHO_MIX_CLBS,
+        app_state_words=2,
+        initial_state=(wet, dry),
+    )
+
+
+# ---------------------------------------------------------------------------
+# assembly kernels
+# ---------------------------------------------------------------------------
+
+def _comb_body(prefix: str) -> str:
+    """Comb filter on r0 = x, r1 = d -> r0 = t; clobbers r2, r3, r8."""
+    return f"""\
+    MOV  r2, #echo_g       ; [g0 g1 g2 g3 t1 t2 t3]
+    LDR  r3, [r2]
+    MUL  r1, r1, r3        ; g0*d
+    LDR  r3, [r2, #4]
+    LDR  r8, [r2, #16]
+    MUL  r3, r3, r8        ; g1*t1
+    ADD  r1, r1, r3
+    LDR  r3, [r2, #8]
+    LDR  r8, [r2, #20]
+    MUL  r3, r3, r8        ; g2*t2
+    ADD  r1, r1, r3
+    LDR  r3, [r2, #12]
+    LDR  r8, [r2, #24]
+    MUL  r3, r3, r8        ; g3*t3
+    ADD  r1, r1, r3
+    ASR  r1, r1, #15
+    ADD  r0, r0, r1
+    MOV  r3, #32767        ; saturate to 16 bits
+    CMP  r0, r3
+    BLE  {prefix}_nh
+    MOV  r0, r3
+{prefix}_nh:
+    MOV  r3, #-32768
+    CMP  r0, r3
+    BGE  {prefix}_nl
+    MOV  r0, r3
+{prefix}_nl:
+    LDR  r3, [r2, #20]     ; shift tap history t3<-t2<-t1<-t
+    STR  r3, [r2, #24]
+    LDR  r3, [r2, #16]
+    STR  r3, [r2, #20]
+    STR  r0, [r2, #16]
+"""
+
+
+def _mix_body(prefix: str) -> str:
+    """Wet/dry mix on r0 = t, r1 = x -> r0 = y; clobbers r2, r3."""
+    return f"""\
+    MOV  r2, #echo_mixc    ; [wet dry]
+    LDR  r3, [r2]
+    MUL  r0, r0, r3        ; wet*t
+    LDR  r3, [r2, #4]
+    MUL  r1, r1, r3        ; dry*x
+    ADD  r0, r0, r1
+    ASR  r0, r0, #15
+    MOV  r3, #24576        ; soft knee above |24576|
+    CMP  r0, r3
+    BLE  {prefix}_k1
+    SUB  r0, r0, r3
+    ASR  r0, r0, #2
+    ADD  r0, r0, r3
+{prefix}_k1:
+    MOV  r3, #-24576
+    CMP  r0, r3
+    BGE  {prefix}_k2
+    SUB  r0, r0, r3
+    ASR  r0, r0, #2
+    ADD  r0, r0, r3
+{prefix}_k2:
+    MOV  r3, #32767        ; final saturation
+    CMP  r0, r3
+    BLE  {prefix}_h
+    MOV  r0, r3
+{prefix}_h:
+    MOV  r3, #-32768
+    CMP  r0, r3
+    BGE  {prefix}_l
+    MOV  r0, r3
+{prefix}_l:
+"""
+
+
+def _data_section(samples: list[int], items: int, delay: int,
+                  gains: tuple[int, int, int, int], wet: int, dry: int,
+                  soft_ptrs: bool) -> str:
+    parts = []
+    if soft_ptrs:
+        parts.append("soft_comb_ptr:\n    .word echo_comb_soft")
+        parts.append("soft_mix_ptr:\n    .word echo_mix_soft")
+    parts.append("echo_g:\n" + words_to_directive(list(gains) + [0, 0, 0]))
+    parts.append("echo_mixc:\n" + words_to_directive([wet, dry]))
+    parts.append(f"dline:\n    .space {4 * delay}\ndline_end:\n    .word 0")
+    parts.append("src:\n" + words_to_directive(samples))
+    parts.append(f"dst:\n    .space {4 * items}")
+    return "\n".join(parts)
+
+
+def _accelerated_source(items: int, samples: list[int], delay: int,
+                        gains, wet: int, dry: int, register_soft: bool) -> str:
+    if register_soft:
+        reg_comb = "    MOV  r2, #soft_comb_ptr\n    LDR  r2, [r2]\n"
+        reg_mix = "    MOV  r2, #soft_mix_ptr\n    LDR  r2, [r2]\n"
+        soft_code = f"""
+echo_comb_soft:
+    LDO  r0, #0
+    LDO  r1, #1
+{_comb_body("ecs")}    STO  r0
+    BX   lr
+
+echo_mix_soft:
+    LDO  r0, #0
+    LDO  r1, #1
+{_mix_body("ems")}    STO  r0
+    BX   lr
+"""
+    else:
+        reg_comb = reg_mix = "    MOV  r2, #0\n"
+        soft_code = ""
+    return f"""\
+; audio echo, accelerated with two custom instructions in a tight loop
+.equ N, {items}
+.text
+main:
+    MOV  r0, #1            ; CID 1: comb
+    MOV  r1, #0
+{reg_comb}    SWI  #1
+    MOV  r0, #2            ; CID 2: mix
+    MOV  r1, #1
+{reg_mix}    SWI  #1
+    MOV  r4, #src
+    MOV  r5, #dst
+    MOV  r6, #N
+    MOV  r7, #dline
+loop:
+    LDR  r0, [r4], #4      ; x
+    LDR  r1, [r7]          ; delayed comb output
+    MCR  f0, r0
+    MCR  f1, r1
+    CDP  #1, f2, f0, f1    ; comb -> t
+    CDP  #2, f3, f2, f0    ; mix(t, x) -> y
+    MRC  r2, f2
+    STR  r2, [r7]          ; write t back into the delay line
+    MRC  r3, f3
+    STR  r3, [r5], #4
+    ADD  r7, r7, #4        ; circular delay pointer
+    MOV  r8, #dline_end
+    CMP  r7, r8
+    BNE  nowrap
+    MOV  r7, #dline
+nowrap:
+    SUB  r6, r6, #1
+    CMP  r6, #0
+    BNE  loop
+    MOV  r0, #0
+    SWI  #0
+{soft_code}
+.data
+{_data_section(samples, items, delay, gains, wet, dry, register_soft)}
+"""
+
+
+def _software_source(items: int, samples: list[int], delay: int,
+                     gains, wet: int, dry: int) -> str:
+    return f"""\
+; audio echo, pure software (unaccelerated baseline)
+.equ N, {items}
+.text
+main:
+    MOV  r4, #src
+    MOV  r5, #dst
+    MOV  r6, #N
+    MOV  r7, #dline
+uloop:
+    LDR  r0, [r4], #4      ; x
+    MOV  r9, r0
+    LDR  r1, [r7]
+    BL   comb_fn           ; r0 = t
+    MOV  r10, r0
+    MOV  r1, r9
+    BL   mix_fn            ; r0 = y
+    STR  r10, [r7]
+    STR  r0, [r5], #4
+    ADD  r7, r7, #4
+    MOV  r8, #dline_end
+    CMP  r7, r8
+    BNE  unowrap
+    MOV  r7, #dline
+unowrap:
+    SUB  r6, r6, #1
+    CMP  r6, #0
+    BNE  uloop
+    MOV  r0, #0
+    SWI  #0
+
+comb_fn:
+{_comb_body("cf")}    BX   lr
+
+mix_fn:
+{_mix_body("mf")}    BX   lr
+
+.data
+{_data_section(samples, items, delay, gains, wet, dry, False)}
+"""
+
+
+def build_echo_program(
+    items: int,
+    seed: int = 0,
+    variant: WorkloadVariant = WorkloadVariant.ACCELERATED,
+    register_soft: bool = True,
+    delay: int = DEFAULT_DELAY,
+) -> Program:
+    """Build one echo process image filtering ``items`` samples."""
+    samples = synthetic_audio(items, seed=seed)
+    if variant is WorkloadVariant.ACCELERATED:
+        source = _accelerated_source(
+            items, samples, delay, DEFAULT_GAINS, DEFAULT_WET, DEFAULT_DRY,
+            register_soft,
+        )
+        circuits = [make_comb_circuit(), make_mix_circuit()]
+    else:
+        source = _software_source(
+            items, samples, delay, DEFAULT_GAINS, DEFAULT_WET, DEFAULT_DRY
+        )
+        circuits = []
+    data_bytes = 4 * (2 * items + delay + 16)
+    return Program.from_source(
+        name=f"echo[{variant.value},{items}]",
+        source=source,
+        circuit_table=circuits,
+        memory_size=memory_size_for(data_bytes),
+        result_labels={"dst": 4 * items},
+    )
+
+
+def echo_reference(items: int, seed: int = 0, delay: int = DEFAULT_DELAY) -> bytes:
+    """Expected ``dst`` contents for a run over ``items`` samples."""
+    model = EchoModel(delay=delay)
+    return words_to_bytes(model.process(synthetic_audio(items, seed=seed)))
+
+
+#: Paper-scale sample count: ~1.3e8 cycles at ~33 cycles/sample.
+PAPER_SAMPLES = 3_900_000
+
+
+def make_echo_workload() -> Workload:
+    return Workload(
+        name="echo",
+        circuits_per_process=2,
+        paper_items=PAPER_SAMPLES,
+        min_items=4,
+        builder=build_echo_program,
+        reference=echo_reference,
+    )

@@ -1,0 +1,29 @@
+"""Registry of the paper's evaluation workloads."""
+
+from __future__ import annotations
+
+from ..errors import WorkloadError
+from .alphablend import make_alpha_workload
+from .echo import make_echo_workload
+from .twofish import make_twofish_workload
+from .workloads import Workload
+
+#: The three applications of §5.1, keyed by their figure-legend names.
+WORKLOADS: dict[str, Workload] = {
+    workload.name: workload
+    for workload in (
+        make_echo_workload(),
+        make_alpha_workload(),
+        make_twofish_workload(),
+    )
+}
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a workload by name (``echo``, ``alpha``, ``twofish``)."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}"
+        ) from None

@@ -1,0 +1,27 @@
+"""Baselines the paper compares against or argues against (§3).
+
+* :mod:`repro.baselines.prisc` — PRISC-style dispatch: per-PFU ID
+  registers that must be wiped on every context switch.  The paper calls
+  PRISC "the best approach of those discussed" but removes its flush
+  requirement with the PID-tagged TLB; this baseline quantifies what that
+  flush costs.
+* :mod:`repro.baselines.memmap` — the memory-mapped coprocessor interface
+  of commercial hybrids (Virtex-II Pro, Excalibur, Triscend): custom
+  hardware reached over the memory bus, with the attendant issue latency.
+* :mod:`repro.baselines.unaccelerated` — pure software execution, the
+  reference point for the paper's "order of magnitude faster" claim.
+"""
+
+from .prisc import PriscPorsche
+from .memmap import memmap_config, MEMMAP_ISSUE_CYCLES, MEMMAP_TRANSFER_CYCLES
+from .unaccelerated import run_unaccelerated, run_accelerated_solo, speedup
+
+__all__ = [
+    "PriscPorsche",
+    "memmap_config",
+    "MEMMAP_ISSUE_CYCLES",
+    "MEMMAP_TRANSFER_CYCLES",
+    "run_unaccelerated",
+    "run_accelerated_solo",
+    "speedup",
+]

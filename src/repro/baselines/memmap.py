@@ -1,0 +1,46 @@
+"""Memory-mapped coprocessor interface baseline (paper §3).
+
+Commercial hybrids of the era (Xilinx Virtex-II Pro, Altera Excalibur,
+Triscend A7) attach custom hardware to the processor's *memory bus*:
+cores respond to address ranges and the CPU talks to them with uncached
+loads and stores.  The paper's critique is quantitative as much as
+architectural — "traveling off the processor and across buses to custom
+hardware is itself quite slow compared to traditional data processing
+operations".
+
+We model that interface at the cost level: every operand transfer to the
+core and every invocation crosses the bus, so the per-word transfer and
+issue latencies grow from the in-datapath values (1 and 1 cycles) to
+uncached-bus values.  Everything else (the kernel, the workloads, the
+management policies) is held constant, isolating the interface cost —
+run any experiment under :func:`memmap_config` and compare.
+"""
+
+from __future__ import annotations
+
+from ..config import MachineConfig
+
+#: Cycles for one uncached bus write/read of an operand word (address
+#: phase + data phase + bus arbitration on an ARM7-era AHB).
+MEMMAP_TRANSFER_CYCLES = 6
+
+#: Cycles to start a memory-mapped core and poll/collect completion,
+#: replacing the single-cycle in-pipeline issue.
+MEMMAP_ISSUE_CYCLES = 8
+
+
+def memmap_config(base: MachineConfig) -> MachineConfig:
+    """Derive a configuration modelling the memory-mapped interface.
+
+    The external array can still hold the same circuits (the devices the
+    paper cites have plenty of fabric); only the datapath coupling
+    changes.
+    """
+    return base.derive(
+        coproc_transfer_cycles=MEMMAP_TRANSFER_CYCLES,
+        cdp_issue_cycles=MEMMAP_ISSUE_CYCLES,
+        # Software dispatch is a Proteus feature; a memory-mapped core
+        # has no operand-capture hardware, so the branch is costlier
+        # (the handler must recover operands from the device registers).
+        soft_dispatch_branch_cycles=MEMMAP_ISSUE_CYCLES,
+    )

@@ -1,0 +1,38 @@
+"""PRISC-style dispatch baseline (paper §3).
+
+PRISC attaches an ID register to each PFU; an executing process's opcode
+is compared against those registers.  Because the registers hold only the
+*application's* opcode — not a (PID, CID) tuple — they must be wiped on
+every context switch and refilled as the incoming process touches its
+circuits.  Circuits stay loaded; only the *mappings* are lost.
+
+This baseline models exactly that: the kernel flushes both dispatch TLBs
+at each context switch, so every circuit a process uses costs one
+mapping fault (fault entry + TLB update) per quantum even when its
+configuration never moved.  Comparing against stock
+:class:`~repro.kernel.porsche.Porsche` isolates the benefit of the
+PID-tagged TLB (the ablation benchmark ``bench_prisc_baseline``).
+
+PRISC's other restrictions (combinatorial-only circuits, single opcode
+per circuit) are architectural and orthogonal to the management cost
+this reproduction measures; they are not modelled.
+"""
+
+from __future__ import annotations
+
+from ..kernel.porsche import Porsche
+from ..kernel.process import Process
+
+
+class PriscPorsche(Porsche):
+    """POrSCHE variant whose dispatch state dies at every context switch."""
+
+    #: Cycles to wipe the ID registers (a single hardware broadcast).
+    FLUSH_CYCLES = 2
+
+    def on_context_switch(self, process: Process) -> None:
+        # Loaded circuits keep their PFUs (Registration.pfu_index stays
+        # set), so each flushed mapping costs one *mapping* fault — the
+        # cheap-but-frequent overhead the PID-tagged TLB eliminates.
+        self.coprocessor.dispatch.flush()
+        self._charge_kernel(process, self.FLUSH_CYCLES)

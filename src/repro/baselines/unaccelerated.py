@@ -1,0 +1,103 @@
+"""Pure-software baseline runs (paper §5.1.1).
+
+The paper notes that "all runs performed an order of magnitude faster
+than the unaccelerated applications".  These helpers run a single
+instance of a workload with and without acceleration so the speedup
+factor can be measured and reported (``bench_acceleration``,
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import MachineConfig
+from ..apps.workloads import Workload, WorkloadVariant
+from ..errors import ExperimentError
+from ..kernel.porsche import Porsche
+from ..kernel.process import ProcessState
+
+
+@dataclass(frozen=True)
+class SoloRun:
+    """Outcome of a single-instance run."""
+
+    workload: str
+    variant: str
+    items: int
+    cycles: int
+    verified: bool
+
+
+def _run_solo(
+    workload: Workload,
+    items: int,
+    config: MachineConfig,
+    variant: WorkloadVariant,
+    seed: int,
+    verify: bool,
+) -> SoloRun:
+    kernel = Porsche(config)
+    program = workload.build(items=items, seed=seed, variant=variant)
+    process = kernel.spawn(program)
+    kernel.run()
+    if process.state is not ProcessState.EXITED:
+        raise ExperimentError(
+            f"{workload.name} ({variant.value}) did not finish: "
+            f"{process.state.value} ({process.kill_reason})"
+        )
+    verified = True
+    if verify:
+        verified = process.read_result(workload.result_name) == (
+            workload.expected(items, seed=seed)
+        )
+        if not verified:
+            raise ExperimentError(
+                f"{workload.name} ({variant.value}) produced wrong output"
+            )
+    return SoloRun(
+        workload=workload.name,
+        variant=variant.value,
+        items=items,
+        cycles=kernel.clock,
+        verified=verified,
+    )
+
+
+def run_unaccelerated(
+    workload: Workload,
+    items: int,
+    config: MachineConfig,
+    seed: int = 0,
+    verify: bool = True,
+) -> SoloRun:
+    """Run one instance in pure software."""
+    return _run_solo(
+        workload, items, config, WorkloadVariant.SOFTWARE, seed, verify
+    )
+
+
+def run_accelerated_solo(
+    workload: Workload,
+    items: int,
+    config: MachineConfig,
+    seed: int = 0,
+    verify: bool = True,
+) -> SoloRun:
+    """Run one instance with its custom instructions."""
+    return _run_solo(
+        workload, items, config, WorkloadVariant.ACCELERATED, seed, verify
+    )
+
+
+def speedup(
+    workload: Workload,
+    items: int,
+    config: MachineConfig,
+    seed: int = 0,
+    verify: bool = True,
+) -> tuple[SoloRun, SoloRun, float]:
+    """(accelerated run, software run, software/accelerated factor)."""
+    accelerated = run_accelerated_solo(workload, items, config, seed, verify)
+    software = run_unaccelerated(workload, items, config, seed, verify)
+    return accelerated, software, software.cycles / accelerated.cycles

@@ -1,0 +1,98 @@
+"""Content Addressable Memory model for the dispatch TLBs (paper §4.2).
+
+A CAM holds a fixed number of keys and answers "which entry holds this
+key?" in a single cycle.  The dispatch mechanism pairs a CAM of (PID, CID)
+tuples with a RAM of targets.  The model enforces the hardware invariant
+that at most one valid entry matches any key — a multi-match would be a
+wired-OR conflict in silicon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generic, Hashable, TypeVar
+
+from ..errors import TLBError
+
+K = TypeVar("K", bound=Hashable)
+
+
+@dataclass
+class CAM(Generic[K]):
+    """Fixed-capacity associative key store with explicit entry indices."""
+
+    entries: int
+    _keys: list[K | None] = field(default_factory=list)
+    _valid: list[bool] = field(default_factory=list)
+    _index: dict[K, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.entries <= 0:
+            raise TLBError("CAM needs at least one entry")
+        if not self._keys:
+            self._keys = [None] * self.entries
+            self._valid = [False] * self.entries
+
+    def __len__(self) -> int:
+        return self.entries
+
+    @property
+    def occupied(self) -> int:
+        return sum(self._valid)
+
+    def match(self, key: K) -> int | None:
+        """Return the entry index holding ``key``, or ``None``."""
+        return self._index.get(key)
+
+    def write(self, entry: int, key: K) -> None:
+        """Program ``entry`` with ``key`` (marking it valid).
+
+        Writing a key that is already valid in a *different* entry is
+        rejected: hardware would then match two entries at once.
+        """
+        self._check_entry(entry)
+        existing = self._index.get(key)
+        if existing is not None and existing != entry:
+            raise TLBError(
+                f"key {key!r} already valid in entry {existing}; "
+                "duplicate CAM keys are illegal"
+            )
+        self.invalidate_entry(entry)
+        self._keys[entry] = key
+        self._valid[entry] = True
+        self._index[key] = entry
+
+    def invalidate_entry(self, entry: int) -> None:
+        self._check_entry(entry)
+        if self._valid[entry]:
+            old = self._keys[entry]
+            self._valid[entry] = False
+            self._keys[entry] = None
+            if old is not None:
+                self._index.pop(old, None)
+
+    def invalidate_key(self, key: K) -> bool:
+        """Invalidate the entry holding ``key``; True if one existed."""
+        entry = self._index.get(key)
+        if entry is None:
+            return False
+        self.invalidate_entry(entry)
+        return True
+
+    def key_at(self, entry: int) -> K | None:
+        self._check_entry(entry)
+        return self._keys[entry] if self._valid[entry] else None
+
+    def valid_entries(self) -> list[int]:
+        return [i for i in range(self.entries) if self._valid[i]]
+
+    def free_entry(self) -> int | None:
+        """Lowest invalid entry index, or ``None`` if the CAM is full."""
+        for i in range(self.entries):
+            if not self._valid[i]:
+                return i
+        return None
+
+    def _check_entry(self, entry: int) -> None:
+        if not 0 <= entry < self.entries:
+            raise TLBError(f"CAM entry {entry} out of range 0..{self.entries - 1}")

@@ -1,0 +1,231 @@
+"""Custom-instruction circuits: behavioural models plus metadata.
+
+A *circuit* is what an application registers with the operating system
+under a process-unique Circuit ID (CID).  In the Proteus model a circuit
+presents the standard two-word-in / one-word-out PFU interface, may take
+many cycles, and may keep a small amount of state in CLB registers.
+
+We separate three notions:
+
+* :class:`CircuitBehaviour` — the functional + timing model (what real
+  hardware description would synthesise to);
+* :class:`CircuitSpec` — behaviour plus resource metadata (CLB budget,
+  state words) and the generated configuration bitstream;
+* :class:`CircuitInstance` — one process's live instance, carrying its
+  architectural state words and the execution context needed to resume an
+  interrupted invocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from ..config import MachineConfig
+from ..errors import PFUError
+from ..fabric.bitstream import Bitstream, StateSnapshot, build_bitstream
+
+MASK32 = 0xFFFFFFFF
+
+#: Words of execution context appended to every state section: the busy
+#: flag, the completed-cycle count, and the two latched operands.  These
+#: live in CLB registers so an in-flight instruction survives eviction.
+EXECUTION_CONTEXT_WORDS = 4
+
+
+class CircuitBehaviour(Protocol):
+    """Functional and timing model of a custom instruction."""
+
+    def latency(self, a: int, b: int, state: list[int]) -> int:
+        """Cycles from init to completion for these operands."""
+
+    def compute(self, a: int, b: int, state: list[int]) -> int:
+        """Produce the 32-bit result; may mutate ``state`` in place."""
+
+
+@dataclass(frozen=True)
+class FunctionBehaviour:
+    """Adapter building a :class:`CircuitBehaviour` from plain callables.
+
+    ``fn(a, b, state) -> result`` and either a fixed latency or a callable
+    ``latency_fn(a, b, state) -> cycles``.
+    """
+
+    fn: Callable[[int, int, list[int]], int]
+    fixed_latency: int = 1
+    latency_fn: Callable[[int, int, list[int]], int] | None = None
+
+    def latency(self, a: int, b: int, state: list[int]) -> int:
+        if self.latency_fn is not None:
+            return max(1, self.latency_fn(a, b, state))
+        return max(1, self.fixed_latency)
+
+    def compute(self, a: int, b: int, state: list[int]) -> int:
+        return self.fn(a, b, state) & MASK32
+
+
+@dataclass(frozen=True)
+class CircuitSpec:
+    """A registrable custom instruction: behaviour + resources + bitstream."""
+
+    name: str
+    behaviour: CircuitBehaviour
+    clb_count: int
+    app_state_words: int = 0
+    initial_state: tuple[int, ...] = ()
+    #: True when the hardware circuit and a software alternative may be
+    #: swapped mid-stream (the circuit's state words are constants, so
+    #: no history is lost).  Stateful streaming circuits (tap histories,
+    #: phase machines) must stay on one dispatch path once running; the
+    #: CIS only re-promotes software-deferred circuits with this set.
+    promotable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.clb_count <= 0:
+            raise PFUError(f"{self.name}: circuit needs at least one CLB")
+        if self.app_state_words < 0:
+            raise PFUError(f"{self.name}: negative state word count")
+        if len(self.initial_state) > self.app_state_words:
+            raise PFUError(
+                f"{self.name}: initial state longer than declared state"
+            )
+
+    @property
+    def state_words(self) -> int:
+        """Total state words, including the execution context (§4.4)."""
+        return self.app_state_words + EXECUTION_CONTEXT_WORDS
+
+    def build_bitstream(self, config: MachineConfig, seed: int = 0) -> Bitstream:
+        """Generate the configuration image sized per the machine config."""
+        return build_bitstream(
+            name=self.name,
+            clb_count=self.clb_count,
+            state_words=self.state_words,
+            static_bytes=config.config_bytes_for(self.clb_count),
+            state_bytes=max(
+                self.state_words * 4,
+                config.state_bytes_for(self.state_words),
+            ),
+            seed=seed,
+        )
+
+    def instantiate(
+        self, pid: int, config: MachineConfig, seed: int = 0
+    ) -> "CircuitInstance":
+        """Create a fresh per-process instance of this circuit."""
+        return CircuitInstance(
+            spec=self,
+            pid=pid,
+            bitstream=self.build_bitstream(config, seed=seed),
+        )
+
+
+@dataclass
+class CircuitInstance:
+    """A live, per-process instance of a circuit.
+
+    The instance owns the architectural state words (e.g. a blend factor
+    or delay-line coefficient loaded via the state section) and the
+    execution context of any in-flight invocation.  The paper's final
+    system would share instances between processes using the same circuit
+    by swapping only state; :class:`repro.kernel.cis` supports that when
+    ``MachineConfig.allow_sharing`` is set.
+    """
+
+    spec: CircuitSpec
+    pid: int
+    bitstream: Bitstream
+    state: list[int] = field(default_factory=list)
+    # Execution context (persisted across eviction via the state section).
+    busy: bool = False
+    cycles_done: int = 0
+    latched_a: int = 0
+    latched_b: int = 0
+    #: Total invocations completed over the instance lifetime (statistic;
+    #: the architecturally visible counter lives in the PFU).
+    completions: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.state:
+            self.state = list(self.spec.initial_state) + [0] * (
+                self.spec.app_state_words - len(self.spec.initial_state)
+            )
+        if len(self.state) != self.spec.app_state_words:
+            raise PFUError(
+                f"{self.spec.name}: state has {len(self.state)} words, "
+                f"spec declares {self.spec.app_state_words}"
+            )
+
+    # ---- invocation ---------------------------------------------------------
+    def begin(self, a: int, b: int) -> int:
+        """Latch operands for a fresh invocation; returns total latency."""
+        if self.busy:
+            raise PFUError(
+                f"{self.spec.name}: begin() while an invocation is in flight"
+            )
+        self.busy = True
+        self.cycles_done = 0
+        self.latched_a = a & MASK32
+        self.latched_b = b & MASK32
+        return self.remaining_cycles()
+
+    def remaining_cycles(self) -> int:
+        """Cycles still needed to complete the in-flight invocation."""
+        if not self.busy:
+            raise PFUError(f"{self.spec.name}: no invocation in flight")
+        total = self.spec.behaviour.latency(
+            self.latched_a, self.latched_b, self.state
+        )
+        return max(0, total - self.cycles_done)
+
+    def advance(self, cycles: int) -> int | None:
+        """Clock the circuit for up to ``cycles``; return result if done.
+
+        Returns the 32-bit result when the invocation completes within the
+        budget, else ``None`` (instruction interrupted, context retained).
+        """
+        if cycles < 0:
+            raise PFUError("cannot advance by negative cycles")
+        remaining = self.remaining_cycles()
+        if cycles < remaining:
+            self.cycles_done += cycles
+            return None
+        self.cycles_done += remaining
+        result = self.spec.behaviour.compute(
+            self.latched_a, self.latched_b, self.state
+        )
+        self.busy = False
+        self.cycles_done = 0
+        self.completions += 1
+        return result & MASK32
+
+    # ---- state movement (eviction / restore) -----------------------------
+    def capture_words(self) -> list[int]:
+        """All CLB-register words: app state then execution context."""
+        return list(self.state) + [
+            1 if self.busy else 0,
+            self.cycles_done & MASK32,
+            self.latched_a,
+            self.latched_b,
+        ]
+
+    def restore_words(self, words: list[int]) -> None:
+        if len(words) != self.spec.state_words:
+            raise PFUError(
+                f"{self.spec.name}: restore expects "
+                f"{self.spec.state_words} words, got {len(words)}"
+            )
+        split = self.spec.app_state_words
+        self.state = list(words[:split])
+        busy_flag, cycles_done, latched_a, latched_b = words[split:split + 4]
+        self.busy = bool(busy_flag)
+        self.cycles_done = cycles_done
+        self.latched_a = latched_a
+        self.latched_b = latched_b
+
+    def snapshot(self) -> StateSnapshot:
+        """Serialise the full CLB-register state for off-array storage."""
+        return self.bitstream.snapshot_state(self.capture_words())
+
+    def restore(self, snapshot: StateSnapshot) -> None:
+        self.restore_words(self.bitstream.restore_state(snapshot))

@@ -1,0 +1,193 @@
+"""The Proteus coprocessor: register file, PFUs, dispatch, operand regs.
+
+This is the unit the ProteanARM attaches to the ARM7 datapath as an
+on-chip coprocessor (paper §5).  The CPU model drives it through a small
+interface:
+
+* ``mcr``/``mrc`` move words between core and FPL registers;
+* ``resolve`` runs the decode-stage dispatch of Figure 1;
+* ``execute`` clocks a PFU for a bounded number of cycles, implementing
+  the interruptible long-instruction protocol of §4.4;
+* ``capture_operands`` latches the special-purpose registers when a
+  software alternative is entered (§4.3).
+
+The kernel's Custom Instruction Scheduler manages the same object through
+its OS-side surface (loading/unloading circuits, TLB maintenance, usage
+counters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import MachineConfig
+from ..errors import PFUError
+from ..fabric.array import FPLArray
+from .circuit import CircuitInstance
+from .dispatch import DispatchResult, DispatchUnit
+from .operand_regs import OperandRegisters
+from .pfu import PFU, PFUBank
+from .regfile import FPLRegisterFile
+from .tlb import IDTuple
+
+
+@dataclass
+class ExecuteOutcome:
+    """Result of clocking a PFU for one CDP issue."""
+
+    cycles: int
+    completed: bool
+    result: int | None = None
+
+
+@dataclass
+class ProteusCoprocessor:
+    """The complete FPL function unit."""
+
+    config: MachineConfig
+    regfile: FPLRegisterFile = field(init=False)
+    pfus: PFUBank = field(init=False)
+    dispatch: DispatchUnit = field(init=False)
+    operand_regs: OperandRegisters = field(default_factory=OperandRegisters)
+    array: FPLArray = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.regfile = FPLRegisterFile(size=self.config.fpl_registers)
+        self.pfus = PFUBank.build(self.config.pfu_count, self.config.pfu_clbs)
+        self.dispatch = DispatchUnit.build(self.config.tlb_entries)
+        self.array = FPLArray.build(self.config.pfu_count, self.config.pfu_clbs)
+
+    # ---- datapath interface ------------------------------------------------
+    def mcr(self, index: int, value: int) -> None:
+        """Move a word from a core register into FPL register ``index``."""
+        self.regfile.write(index, value)
+
+    def mrc(self, index: int) -> int:
+        """Move FPL register ``index`` into a core register."""
+        return self.regfile.read(index)
+
+    def resolve(self, pid: int, cid: int) -> DispatchResult:
+        """Decode-stage resolution of an execute instruction."""
+        return self.dispatch.resolve(pid, cid)
+
+    def execute(
+        self, pfu_index: int, fd: int, fn: int, fm: int, max_cycles: int
+    ) -> ExecuteOutcome:
+        """Issue/continue a custom instruction on a PFU.
+
+        Clocks the PFU for at most ``max_cycles``.  On completion the
+        result is written to FPL register ``fd``.  If the budget runs out
+        first, the invocation context stays latched in the PFU's circuit
+        (status register low) and re-executing the same instruction later
+        continues transparently.
+        """
+        if max_cycles <= 0:
+            return ExecuteOutcome(cycles=0, completed=False)
+        pfu = self.pfus.pfu(pfu_index)
+        pfu.issue(self.regfile.read(fn), self.regfile.read(fm))
+        cycles, result = pfu.clock(max_cycles)
+        if result is None:
+            return ExecuteOutcome(cycles=cycles, completed=False)
+        self.regfile.write(fd, result)
+        return ExecuteOutcome(cycles=cycles, completed=True, result=result)
+
+    def capture_operands(self, fd: int, fn: int, fm: int) -> None:
+        """Latch the special-purpose registers for software dispatch."""
+        self.operand_regs.capture(
+            self.regfile.read(fn), self.regfile.read(fm), fd
+        )
+
+    def store_soft_result(self, value: int) -> int:
+        """``STO``: write a software alternative's result to its dest reg."""
+        dest = self.operand_regs.take_result_dest()
+        self.regfile.write(dest, value)
+        return dest
+
+    # ---- OS-side: circuit load / unload -----------------------------------
+    def load_circuit(
+        self,
+        pfu_index: int,
+        instance: CircuitInstance,
+        reuse_static: bool | None = None,
+    ) -> int:
+        """Install a circuit in a PFU; returns configuration bytes moved.
+
+        When static-image reuse applies (``reuse_static`` explicitly, or
+        ``MachineConfig.reuse_resident_static`` by default) and the PFU's
+        region already holds this circuit's static image, only the state
+        section moves — the instance-sharing optimisation the paper's
+        experiments disable (§5.1).  The CIS passes ``reuse_static=True``
+        on the sharing path, where moving only state is the definition of
+        the operation.
+        """
+        pfu = self.pfus.pfu(pfu_index)
+        if pfu.configured:
+            raise PFUError(
+                f"PFU {pfu_index} still holds "
+                f"{pfu.instance.spec.name!r}; unload it first"
+            )
+        if reuse_static is None:
+            reuse_static = self.config.reuse_resident_static
+        region = self.array.region(pfu_index)
+        moved = 0
+        resident = region.resident
+        if not (
+            reuse_static
+            and resident is not None
+            and resident.name == instance.bitstream.name
+        ):
+            moved += region.load_static(instance.bitstream)
+        snapshot = instance.snapshot()
+        moved += region.load_state(snapshot)
+        pfu.load(instance)
+        return moved
+
+    def unload_circuit(self, pfu_index: int, keep_static: bool = True) -> tuple[CircuitInstance, int]:
+        """Evict a circuit, saving only its state section (§4.1).
+
+        Returns the instance (with its state already captured inside it)
+        and the bytes moved off the array.  The static image may stay
+        resident in the region so a later reload of the *same* circuit is
+        cheap; loading a different circuit overwrites it.
+        """
+        pfu = self.pfus.pfu(pfu_index)
+        instance = pfu.unload()
+        snapshot = instance.snapshot()
+        if not keep_static:
+            self.array.region(pfu_index).unload()
+        self.dispatch.unmap_pfu(pfu_index)
+        return instance, len(snapshot.payload)
+
+    def pfu_for(self, pid: int, circuit_name: str) -> PFU | None:
+        return self.pfus.find_instance(pid, circuit_name)
+
+    # ---- OS-side: context switching ------------------------------------------
+    def save_context(self) -> dict:
+        """Capture per-process coprocessor state for the PCB.
+
+        Only the register file and operand registers move on a context
+        switch; PFU contents and TLB mappings are PID-tagged and stay put
+        — the architectural point of the paper.
+        """
+        return {
+            "regfile": self.regfile.save(),
+            "operands": self.operand_regs.save(),
+        }
+
+    def restore_context(self, saved: dict) -> None:
+        self.regfile.restore(saved["regfile"])
+        self.operand_regs.restore(saved["operands"])
+
+    def fresh_context(self) -> dict:
+        return {
+            "regfile": [0] * self.config.fpl_registers,
+            "operands": (0, 0, 0, False),
+        }
+
+    # ---- OS-side: usage statistics (§4.5) -------------------------------------
+    def read_usage_counters(self) -> list[int]:
+        """Read-and-clear every PFU usage counter."""
+        return [pfu.read_and_clear_usage() for pfu in self.pfus]
+
+    def key_for(self, pid: int, cid: int) -> IDTuple:
+        return IDTuple(pid=pid, cid=cid)

@@ -1,0 +1,123 @@
+"""The decode-stage dispatch mechanism of Figure 1 (paper §4.2).
+
+An execute instruction carrying a CID is resolved against the current
+PID in three steps, in priority order:
+
+1. **TLB 1** — (PID, CID) → PFU number: decode as a custom-hardware
+   invocation on that PFU.
+2. **TLB 2** — (PID, CID) → memory address: decode as the special
+   branch-and-link to the registered software alternative.
+3. **Fault** — neither TLB matches: raise an instruction fault so the
+   operating system can load the circuit, install a mapping, or kill the
+   process if the request is illegal.
+
+Both TLBs key on the full ID tuple, so no dispatch state is touched on a
+context switch.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import DispatchError
+from .tlb import DispatchTLB, IDTuple
+
+
+class DispatchKind(enum.Enum):
+    """How an execute instruction was resolved."""
+
+    HARDWARE = "hardware"
+    SOFTWARE = "software"
+    FAULT = "fault"
+
+
+@dataclass(frozen=True)
+class DispatchResult:
+    """Outcome of one decode-stage resolution."""
+
+    kind: DispatchKind
+    #: PFU number for HARDWARE resolutions.
+    pfu_index: int | None = None
+    #: Software-alternative address for SOFTWARE resolutions.
+    address: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind is DispatchKind.HARDWARE and self.pfu_index is None:
+            raise DispatchError("hardware dispatch requires a PFU index")
+        if self.kind is DispatchKind.SOFTWARE and self.address is None:
+            raise DispatchError("software dispatch requires an address")
+
+
+@dataclass
+class DispatchUnit:
+    """The two-TLB resolver sitting in the decode stage."""
+
+    hardware_tlb: DispatchTLB
+    software_tlb: DispatchTLB
+    #: Statistics for the evaluation harness.
+    resolutions: dict[DispatchKind, int] = field(
+        default_factory=lambda: {kind: 0 for kind in DispatchKind}
+    )
+
+    @classmethod
+    def build(cls, tlb_entries: int) -> "DispatchUnit":
+        return cls(
+            hardware_tlb=DispatchTLB(entries=tlb_entries),
+            software_tlb=DispatchTLB(entries=tlb_entries),
+        )
+
+    def resolve(self, pid: int, cid: int) -> DispatchResult:
+        """Resolve an execute instruction for the current process."""
+        key = IDTuple(pid=pid, cid=cid)
+        pfu_index = self.hardware_tlb.lookup(key)
+        if pfu_index is not None:
+            result = DispatchResult(
+                kind=DispatchKind.HARDWARE, pfu_index=pfu_index
+            )
+        else:
+            address = self.software_tlb.lookup(key)
+            if address is not None:
+                result = DispatchResult(
+                    kind=DispatchKind.SOFTWARE, address=address
+                )
+            else:
+                result = DispatchResult(kind=DispatchKind.FAULT)
+        self.resolutions[result.kind] += 1
+        return result
+
+    # ---- OS-side management -----------------------------------------------
+    def map_hardware(self, key: IDTuple, pfu_index: int) -> IDTuple | None:
+        """Install a (PID, CID) → PFU mapping; returns any evicted tuple.
+
+        A tuple cannot be live in both TLBs at once — hardware resolution
+        has priority, so a stale software mapping is removed first.
+        """
+        self.software_tlb.remove(key)
+        return self.hardware_tlb.insert(key, pfu_index)
+
+    def map_software(self, key: IDTuple, address: int) -> IDTuple | None:
+        """Install a (PID, CID) → software-address mapping."""
+        self.hardware_tlb.remove(key)
+        return self.software_tlb.insert(key, address)
+
+    def unmap(self, key: IDTuple) -> None:
+        self.hardware_tlb.remove(key)
+        self.software_tlb.remove(key)
+
+    def unmap_pid(self, pid: int) -> int:
+        """Drop all of a process's mappings (process exit)."""
+        return self.hardware_tlb.remove_pid(pid) + self.software_tlb.remove_pid(
+            pid
+        )
+
+    def unmap_pfu(self, pfu_index: int) -> int:
+        """Drop every tuple naming ``pfu_index`` (circuit evicted)."""
+        return self.hardware_tlb.remove_value(pfu_index)
+
+    def flush(self) -> int:
+        """Flush both TLBs — only the PRISC baseline ever calls this."""
+        return self.hardware_tlb.flush() + self.software_tlb.flush()
+
+    def tuples_for_pfu(self, pfu_index: int) -> list[IDTuple]:
+        return self.hardware_tlb.keys_for_value(pfu_index)

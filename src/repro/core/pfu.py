@@ -1,0 +1,165 @@
+"""Programmable Function Units with interruptible execution (paper §4.4, §4.5).
+
+Each PFU presents the two-in/one-out register interface plus two control
+signals: *init* in and *completion* out.  A 1-bit status register feeds the
+completion signal back into init:
+
+* on reset the status register holds 1, so the first issue of an
+  instruction sees init high and starts fresh;
+* while the instruction runs the status register holds 0;
+* if the instruction is interrupted, re-issuing it finds init low and the
+  circuit simply continues — the application never knows.
+
+Each PFU also carries a usage counter, incremented when an instruction
+*completes* (not when it starts, so interrupted-and-reissued instructions
+count once).  The OS reads and clears these counters to drive replacement
+policies such as LRU and second chance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import PFUError
+from .circuit import CircuitInstance
+
+
+@dataclass
+class PFU:
+    """One programmable function unit slot."""
+
+    index: int
+    clb_capacity: int
+    instance: CircuitInstance | None = None
+    #: The 1-bit init/done status register (1 = idle/done, 0 = in flight).
+    status: int = 1
+    #: Completion counter, read-and-cleared by the OS (§4.5).
+    usage_counter: int = 0
+    #: Lifetime statistics for the evaluation harness.
+    total_busy_cycles: int = 0
+    total_completions: int = 0
+
+    # ---- configuration side -------------------------------------------------
+    @property
+    def configured(self) -> bool:
+        return self.instance is not None
+
+    def load(self, instance: CircuitInstance) -> None:
+        """Install a circuit instance (static + state already transferred).
+
+        The status register is set from the restored execution context: a
+        circuit evicted mid-instruction resumes with init low.
+        """
+        if instance.spec.clb_count > self.clb_capacity:
+            raise PFUError(
+                f"circuit {instance.spec.name!r} needs "
+                f"{instance.spec.clb_count} CLBs; PFU {self.index} has "
+                f"{self.clb_capacity}"
+            )
+        self.instance = instance
+        self.status = 0 if instance.busy else 1
+
+    def unload(self) -> CircuitInstance:
+        """Remove the current instance (its state was snapshotted first)."""
+        if self.instance is None:
+            raise PFUError(f"PFU {self.index} is already empty")
+        instance = self.instance
+        self.instance = None
+        self.status = 1
+        return instance
+
+    # ---- datapath side ----------------------------------------------------
+    def issue(self, a: int, b: int) -> None:
+        """Drive the PFU with an invocation instruction.
+
+        With status 1 this is a fresh start (init pulses high and the
+        operands latch); with status 0 it is a transparent continuation of
+        an interrupted instruction and the operands are ignored, because
+        the latched values are part of the preserved CLB state.
+        """
+        instance = self._require_instance()
+        if self.status == 1:
+            instance.begin(a, b)
+            self.status = 0
+        elif not instance.busy:
+            raise PFUError(
+                f"PFU {self.index}: status low but no invocation in flight"
+            )
+
+    def clock(self, max_cycles: int) -> tuple[int, int | None]:
+        """Clock the PFU for at most ``max_cycles``.
+
+        Returns ``(cycles_consumed, result)`` where ``result`` is ``None``
+        if the instruction did not complete (interrupted by the CPU
+        ceasing to clock the unit).
+        """
+        instance = self._require_instance()
+        if self.status != 0:
+            raise PFUError(f"PFU {self.index}: clocked while idle")
+        needed = instance.remaining_cycles()
+        consumed = min(max_cycles, needed)
+        result = instance.advance(consumed)
+        self.total_busy_cycles += consumed
+        if result is not None:
+            self.status = 1
+            self.usage_counter += 1
+            self.total_completions += 1
+        return consumed, result
+
+    @property
+    def in_flight(self) -> bool:
+        return self.status == 0
+
+    # ---- OS side --------------------------------------------------------------
+    def read_and_clear_usage(self) -> int:
+        """Read the completion counter and reset it (§4.5)."""
+        count = self.usage_counter
+        self.usage_counter = 0
+        return count
+
+    def _require_instance(self) -> CircuitInstance:
+        if self.instance is None:
+            raise PFUError(f"PFU {self.index} has no circuit loaded")
+        return self.instance
+
+
+@dataclass
+class PFUBank:
+    """The coprocessor's array of PFUs."""
+
+    pfus: list[PFU] = field(default_factory=list)
+
+    @classmethod
+    def build(cls, pfu_count: int, pfu_clbs: int) -> "PFUBank":
+        if pfu_count <= 0:
+            raise PFUError("at least one PFU required")
+        return cls(
+            pfus=[PFU(index=i, clb_capacity=pfu_clbs) for i in range(pfu_count)]
+        )
+
+    def __len__(self) -> int:
+        return len(self.pfus)
+
+    def __iter__(self):
+        return iter(self.pfus)
+
+    def pfu(self, index: int) -> PFU:
+        if not 0 <= index < len(self.pfus):
+            raise PFUError(f"no PFU {index}")
+        return self.pfus[index]
+
+    def free_pfus(self) -> list[PFU]:
+        return [pfu for pfu in self.pfus if not pfu.configured]
+
+    def configured_pfus(self) -> list[PFU]:
+        return [pfu for pfu in self.pfus if pfu.configured]
+
+    def find_instance(self, pid: int, circuit_name: str) -> PFU | None:
+        """Locate the PFU holding a given process's circuit instance."""
+        for pfu in self.pfus:
+            if pfu.instance is not None and (
+                pfu.instance.pid == pid
+                and pfu.instance.spec.name == circuit_name
+            ):
+                return pfu
+        return None

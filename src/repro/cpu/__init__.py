@@ -1,0 +1,47 @@
+"""ARM-flavoured CPU substrate for the ProteanARM model.
+
+The ProteanARM is an ARM7TDMI with the Proteus coprocessor attached
+(paper §5).  This package provides the processor model the reproduction
+runs workloads on:
+
+* :mod:`repro.cpu.isa` — a compact ARM-flavoured instruction set with
+  the coprocessor operations the paper adds (MCR/MRC transfers, CDP
+  custom-instruction execute, LDO/STO operand-register access);
+* :mod:`repro.cpu.assembler` — a two-pass assembler with labels, data
+  directives and constants, used to write the workload kernels;
+* :mod:`repro.cpu.encoding` — 32-bit binary encode/decode;
+* :mod:`repro.cpu.memory` — per-process byte-addressable memory;
+* :mod:`repro.cpu.core` — the cycle-costed interpreter with faults,
+  syscall traps and bounded execution for quantum scheduling.
+"""
+
+from .isa import Cond, Instruction, Op, REG_ALIASES
+from .assembler import assemble, AssembledProgram
+from .encoding import decode, encode
+from .memory import Memory
+from .exceptions import (
+    CustomInstructionFault,
+    ExitTrap,
+    SyscallTrap,
+)
+from .core import CPU, CPUState, StepResult
+from .program import Program
+
+__all__ = [
+    "Cond",
+    "Instruction",
+    "Op",
+    "REG_ALIASES",
+    "assemble",
+    "AssembledProgram",
+    "decode",
+    "encode",
+    "Memory",
+    "CustomInstructionFault",
+    "ExitTrap",
+    "SyscallTrap",
+    "CPU",
+    "CPUState",
+    "StepResult",
+    "Program",
+]

@@ -1,0 +1,411 @@
+"""Cycle-costed interpreter for the ProteanARM instruction set.
+
+The interpreter executes one process's decoded instruction stream against
+its private memory and the (shared) Proteus coprocessor.  It is driven by
+the kernel in bounded bursts — ``run(budget)`` executes until the cycle
+budget is spent or an architectural event (syscall trap, custom
+instruction fault, halt) transfers control to the kernel.
+
+Cycle costs follow the ARM7TDMI flavour configured in
+:class:`~repro.config.MachineConfig` (loads 3 cycles, taken branches 3,
+multiplies 4, ALU 1, ...).  Custom instructions consume their circuit
+latency inside the coprocessor; when the quantum expires mid-instruction
+the program counter stays on the CDP so the next quantum transparently
+re-issues it (paper §4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import MachineConfig
+from ..core.coprocessor import ProteusCoprocessor
+from ..core.dispatch import DispatchKind
+from ..errors import CPUError
+from .exceptions import CPUEvent, CustomInstructionFault, ExitTrap, SyscallTrap
+from .isa import (
+    COMPARE_OPS,
+    Flags,
+    Instruction,
+    MASK32,
+    Op,
+    code_address,
+    code_index,
+    to_signed,
+)
+from .memory import Memory
+
+
+@dataclass
+class CPUState:
+    """The per-process architectural state of the ARM core."""
+
+    memory: Memory
+    regs: list[int] = field(default_factory=lambda: [0] * 16)
+    flags: Flags = field(default_factory=Flags)
+    halted: bool = False
+    #: Lifetime statistics.
+    instructions_retired: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.regs) != 16:
+            raise CPUError("ARM state requires 16 registers")
+        if self.regs[13] == 0:
+            self.regs[13] = self.memory.stack_top
+
+    @property
+    def pc(self) -> int:
+        return self.regs[15]
+
+    @pc.setter
+    def pc(self, value: int) -> None:
+        self.regs[15] = value & MASK32
+
+
+@dataclass
+class StepResult:
+    """Outcome of executing (or partially executing) one instruction."""
+
+    cycles: int
+    #: False when a CDP ran out of budget and must be re-issued.
+    retired: bool = True
+
+
+@dataclass
+class RunResult:
+    """Outcome of one bounded execution burst."""
+
+    cycles: int
+    #: The event that ended the burst, or ``None`` if the budget expired.
+    event: CPUEvent | None = None
+
+
+class CPU:
+    """Interpreter binding one process's state to the shared coprocessor.
+
+    Two execution paths share the same semantics:
+
+    * :meth:`step` — the readable reference interpreter;
+    * :meth:`run` — bounded bursts over closure-compiled instructions
+      (see :mod:`repro.cpu.translate`), several times faster and used by
+      the kernel.  :meth:`run_interpreted` is the same burst loop on top
+      of :meth:`step`, kept for the equivalence tests.
+    """
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        program: list[Instruction],
+        state: CPUState,
+        coprocessor: ProteusCoprocessor,
+        pid: int,
+    ) -> None:
+        self.config = config
+        self.program = program
+        self.state = state
+        self.coprocessor = coprocessor
+        self.pid = pid
+        self._ctx: "translate_module.RunContext | None" = None
+        self._ops = None
+
+    # ------------------------------------------------------------------
+    def _compile(self):
+        from . import translate as translate_module
+
+        ctx = translate_module.RunContext()
+        ops = translate_module.translate(
+            self.program,
+            ctx,
+            self.state.regs,
+            self.state.flags,
+            self.state.memory,
+            self.coprocessor,
+            self.config,
+            self.pid,
+            self.state,
+        )
+        self._ctx = ctx
+        self._ops = ops
+        return ctx, ops
+
+    def run(self, budget: int) -> RunResult:
+        """Execute until ``budget`` cycles are consumed or an event fires.
+
+        The final instruction may overrun the budget slightly (a real
+        pipeline does not abandon a committed instruction); CDP
+        instructions are the exception — they are interruptible and stop
+        clocking exactly at the boundary.
+        """
+        if budget <= 0:
+            return RunResult(cycles=0)
+        ctx, ops = (self._ctx, self._ops)
+        if ops is None:
+            ctx, ops = self._compile()
+        state = self.state
+        ctx.idx = code_index(state.pc)
+        base_retired = ctx.retired
+        used = 0
+        event: CPUEvent | None = None
+        length = len(ops)
+        try:
+            while used < budget:
+                if state.halted:
+                    event = ExitTrap()
+                    break
+                index = ctx.idx
+                if not 0 <= index < length:
+                    raise CPUError(
+                        f"pc {code_address(index):#010x} outside program "
+                        f"(0..{length - 1})"
+                    )
+                used += ops[index](budget - used)
+                if ctx.interrupted:
+                    ctx.interrupted = False
+                    break
+            return RunResult(cycles=used, event=event)
+        except CPUEvent as trap:
+            # The raising instruction charged no cycles itself; charge the
+            # base issue cost so traps are not free.
+            used += self.config.alu_cycles
+            return RunResult(cycles=used, event=trap)
+        finally:
+            state.pc = code_address(ctx.idx)
+            state.instructions_retired += ctx.retired - base_retired
+
+    def run_interpreted(self, budget: int) -> RunResult:
+        """The same burst semantics on the reference interpreter."""
+        if budget <= 0:
+            return RunResult(cycles=0)
+        used = 0
+        state = self.state
+        while used < budget:
+            if state.halted:
+                return RunResult(cycles=used, event=ExitTrap())
+            try:
+                step = self.step(budget - used)
+            except CPUEvent as event:
+                used += self.config.alu_cycles
+                return RunResult(cycles=used, event=event)
+            used += step.cycles
+            if not step.retired:
+                # CDP interrupted at the budget boundary.
+                break
+        return RunResult(cycles=used)
+
+    # ---------------------------------------------------------------------
+    def step(self, budget: int = 1 << 30) -> StepResult:
+        """Execute the instruction at the current PC.
+
+        ``budget`` bounds only multi-cycle custom instructions; ordinary
+        instructions always complete.
+        """
+        state = self.state
+        config = self.config
+        index = code_index(state.pc)
+        if not 0 <= index < len(self.program):
+            raise CPUError(
+                f"pc {state.pc:#010x} outside program "
+                f"(0..{len(self.program) - 1})"
+            )
+        instruction = self.program[index]
+        op = instruction.op
+        regs = state.regs
+
+        # ---- data processing ------------------------------------------------
+        if op is Op.MOV or op is Op.MVN:
+            value = self._op2(instruction)
+            if op is Op.MVN:
+                value = ~value
+            self._write_reg(instruction.rd, value)
+            return self._retire(config.alu_cycles)
+
+        if op is Op.ADD:
+            return self._alu(instruction, regs[instruction.rn] + self._op2(instruction))
+        if op is Op.SUB:
+            return self._alu(instruction, regs[instruction.rn] - self._op2(instruction))
+        if op is Op.RSB:
+            return self._alu(instruction, self._op2(instruction) - regs[instruction.rn])
+        if op is Op.AND:
+            return self._alu(instruction, regs[instruction.rn] & self._op2(instruction))
+        if op is Op.ORR:
+            return self._alu(instruction, regs[instruction.rn] | self._op2(instruction))
+        if op is Op.EOR:
+            return self._alu(instruction, regs[instruction.rn] ^ self._op2(instruction))
+        if op is Op.BIC:
+            return self._alu(instruction, regs[instruction.rn] & ~self._op2(instruction))
+
+        if op in (Op.LSL, Op.LSR, Op.ASR, Op.ROR):
+            return self._alu(instruction, self._shift(op, instruction))
+
+        if op is Op.MUL:
+            product = regs[instruction.rn] * regs[instruction.rm]
+            self._write_reg(instruction.rd, product)
+            return self._retire(config.mul_cycles)
+
+        if op in COMPARE_OPS:
+            a = regs[instruction.rn]
+            b = self._op2(instruction)
+            if op is Op.CMP:
+                state.flags.set_from_sub(a, b)
+            elif op is Op.CMN:
+                state.flags.set_from_add(a, b)
+            else:  # TST
+                state.flags.set_from_logical(a & b)
+            return self._retire(config.alu_cycles)
+
+        # ---- branches --------------------------------------------------------
+        if op is Op.B or op is Op.BL:
+            if not state.flags.passes(instruction.cond):
+                return self._retire(config.alu_cycles)
+            if op is Op.BL:
+                regs[14] = code_address(index + 1)
+            state.pc = code_address(index + 1 + instruction.imm)
+            state.instructions_retired += 1
+            return StepResult(cycles=config.branch_cycles)
+
+        if op is Op.BX:
+            target = regs[instruction.rn]
+            code_index(target)  # validates
+            state.pc = target
+            state.instructions_retired += 1
+            return StepResult(cycles=config.branch_cycles)
+
+        # ---- memory -----------------------------------------------------------
+        if op is Op.LDR or op is Op.LDRB:
+            address = regs[instruction.rn]
+            if not instruction.post_inc:
+                address = (address + instruction.imm) & MASK32
+            if op is Op.LDR:
+                value = state.memory.load_word(address)
+            else:
+                value = state.memory.load_byte(address)
+            self._write_reg(instruction.rd, value)
+            if instruction.post_inc:
+                regs[instruction.rn] = (regs[instruction.rn] + instruction.imm) & MASK32
+            return self._retire(config.load_cycles)
+
+        if op is Op.STR or op is Op.STRB:
+            address = regs[instruction.rn]
+            if not instruction.post_inc:
+                address = (address + instruction.imm) & MASK32
+            if op is Op.STR:
+                state.memory.store_word(address, regs[instruction.rd])
+            else:
+                state.memory.store_byte(address, regs[instruction.rd])
+            if instruction.post_inc:
+                regs[instruction.rn] = (regs[instruction.rn] + instruction.imm) & MASK32
+            return self._retire(config.store_cycles)
+
+        # ---- traps --------------------------------------------------------------
+        if op is Op.SWI:
+            state.pc = code_address(index + 1)
+            state.instructions_retired += 1
+            raise SyscallTrap(number=instruction.imm)
+
+        if op is Op.HALT:
+            state.halted = True
+            state.instructions_retired += 1
+            raise ExitTrap(status=regs[0])
+
+        if op is Op.NOP:
+            return self._retire(config.alu_cycles)
+
+        # ---- coprocessor ------------------------------------------------------
+        if op is Op.MCR:
+            self.coprocessor.mcr(instruction.rd, regs[instruction.rn])
+            return self._retire(config.coproc_transfer_cycles)
+
+        if op is Op.MRC:
+            self._write_reg(instruction.rd, self.coprocessor.mrc(instruction.rn))
+            return self._retire(config.coproc_transfer_cycles)
+
+        if op is Op.CDP:
+            return self._cdp(instruction, index, budget)
+
+        if op is Op.LDO:
+            value = self.coprocessor.operand_regs.read_operand(instruction.imm)
+            self._write_reg(instruction.rd, value)
+            return self._retire(config.operand_reg_cycles)
+
+        if op is Op.STO:
+            self.coprocessor.store_soft_result(regs[instruction.rn])
+            return self._retire(config.operand_reg_cycles)
+
+        raise CPUError(f"unimplemented opcode {op.name}")
+
+    # ----------------------------------------------------------------------
+    def _cdp(self, instruction: Instruction, index: int, budget: int) -> StepResult:
+        """Execute a custom instruction via the dispatch unit (Figure 1)."""
+        config = self.config
+        state = self.state
+        resolution = self.coprocessor.resolve(self.pid, instruction.imm)
+
+        if resolution.kind is DispatchKind.FAULT:
+            raise CustomInstructionFault(cid=instruction.imm, fault_pc=state.pc)
+
+        if resolution.kind is DispatchKind.SOFTWARE:
+            # Special branch: capture operands, link, jump (§4.3).
+            self.coprocessor.capture_operands(
+                instruction.rd, instruction.rn, instruction.rm
+            )
+            state.regs[14] = code_address(index + 1)
+            assert resolution.address is not None
+            state.pc = resolution.address
+            state.instructions_retired += 1
+            return StepResult(cycles=config.soft_dispatch_branch_cycles)
+
+        assert resolution.pfu_index is not None
+        issue = config.cdp_issue_cycles
+        pfu_budget = max(1, budget - issue)
+        outcome = self.coprocessor.execute(
+            resolution.pfu_index,
+            instruction.rd,
+            instruction.rn,
+            instruction.rm,
+            pfu_budget,
+        )
+        if outcome.completed:
+            state.pc = code_address(index + 1)
+            state.instructions_retired += 1
+            return StepResult(cycles=issue + outcome.cycles)
+        # Interrupted: leave the PC on the CDP for transparent re-issue.
+        return StepResult(cycles=issue + outcome.cycles, retired=False)
+
+    # -----------------------------------------------------------------------
+    def _op2(self, instruction: Instruction) -> int:
+        if instruction.uses_imm:
+            return instruction.imm & MASK32
+        return self.state.regs[instruction.rm]
+
+    def _shift(self, op: Op, instruction: Instruction) -> int:
+        value = self.state.regs[instruction.rn]
+        amount = self._op2(instruction) & 0xFF
+        if amount == 0:
+            return value
+        if op is Op.LSL:
+            return (value << amount) & MASK32 if amount < 32 else 0
+        if op is Op.LSR:
+            return (value >> amount) if amount < 32 else 0
+        if op is Op.ASR:
+            signed = to_signed(value)
+            return (signed >> min(amount, 31)) & MASK32
+        # ROR
+        amount %= 32
+        return ((value >> amount) | (value << (32 - amount))) & MASK32
+
+    def _alu(self, instruction: Instruction, value: int) -> StepResult:
+        self._write_reg(instruction.rd, value)
+        return self._retire(self.config.alu_cycles)
+
+    def _write_reg(self, index: int, value: int) -> None:
+        if index == 15:
+            raise CPUError(
+                "direct writes to pc are not supported; use B/BL/BX"
+            )
+        self.state.regs[index] = value & MASK32
+
+    def _retire(self, cycles: int) -> StepResult:
+        state = self.state
+        state.pc = state.pc + 4
+        state.instructions_retired += 1
+        return StepResult(cycles=cycles)

@@ -1,0 +1,209 @@
+"""Binary encoding of ProteanARM instructions.
+
+Every instruction packs into one 32-bit word.  The machine model executes
+decoded :class:`~repro.cpu.isa.Instruction` objects directly, but the
+binary format exists so that programs have a concrete memory image (and
+so round-trip tests can police the ISA's representability rules).
+
+Word layout (bit 31 is the MSB)::
+
+    [31:27] op        (5 bits)
+    [26:23] cond      (4 bits)
+
+    branches (B, BL):
+        [22:0]  signed instruction offset from the *next* instruction
+
+    MOV/MVN with immediate:
+        [22]    1
+        [21:18] rd
+        [17:0]  signed 18-bit immediate
+
+    CDP:
+        [22]    1
+        [21:18] fd     [17:14] fn     [13:4] CID (unsigned, 0..1023)
+        [3:0]   fm
+
+    memory ops (LDR/STR/LDRB/STRB — offset is always an immediate):
+        [21:18] rd
+        [17:14] rn
+        [13]    post_inc
+        [12:0]  signed 13-bit offset
+
+    everything else:
+        [22]    uses_imm
+        [21:18] rd
+        [17:14] rn
+        [12:0]  signed 13-bit immediate      (when uses_imm)
+        [3:0]   rm                            (when register form)
+
+Immediates that do not fit must come from a literal pool (``.word`` in
+the data section) — the same rule real ARM assemblers apply.
+"""
+
+from __future__ import annotations
+
+from ..errors import EncodingError
+from .isa import BRANCH_OPS, MEMORY_OPS as _MEMORY_OPS, Cond, Instruction, Op
+
+MASK32 = 0xFFFFFFFF
+
+_IMM13_MIN, _IMM13_MAX = -(1 << 12), (1 << 12) - 1
+_IMM18_MIN, _IMM18_MAX = -(1 << 17), (1 << 17) - 1
+_OFF23_MIN, _OFF23_MAX = -(1 << 22), (1 << 22) - 1
+_CID_MAX = (1 << 10) - 1
+
+
+def _check_reg(value: int, what: str) -> int:
+    if not 0 <= value <= 15:
+        raise EncodingError(f"{what} {value} does not fit in 4 bits")
+    return value
+
+
+def _signed_field(value: int, bits: int, what: str) -> int:
+    low, high = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    if not low <= value <= high:
+        raise EncodingError(
+            f"{what} {value} outside signed {bits}-bit range "
+            f"[{low}, {high}]; use a literal pool"
+        )
+    return value & ((1 << bits) - 1)
+
+
+def _unsigned_from(field: int, bits: int) -> int:
+    return field & ((1 << bits) - 1)
+
+
+def _signed_from(field: int, bits: int) -> int:
+    field &= (1 << bits) - 1
+    if field >> (bits - 1):
+        return field - (1 << bits)
+    return field
+
+
+def encode(instruction: Instruction) -> int:
+    """Pack an instruction into its 32-bit word."""
+    op = instruction.op
+    word = (int(op) & 0x1F) << 27
+    word |= (int(instruction.cond) & 0xF) << 23
+
+    if op in BRANCH_OPS:
+        word |= _signed_field(instruction.imm, 23, "branch offset")
+        return word
+
+    if op in (Op.MOV, Op.MVN) and instruction.uses_imm:
+        word |= 1 << 22
+        word |= _check_reg(instruction.rd, "rd") << 18
+        word |= _signed_field(instruction.imm, 18, "immediate")
+        return word
+
+    if op is Op.CDP:
+        if not 0 <= instruction.imm <= _CID_MAX:
+            raise EncodingError(
+                f"CID {instruction.imm} outside 0..{_CID_MAX}"
+            )
+        word |= 1 << 22
+        word |= _check_reg(instruction.rd, "fd") << 18
+        word |= _check_reg(instruction.rn, "fn") << 14
+        word |= (instruction.imm & 0x3FF) << 4
+        word |= _check_reg(instruction.rm, "fm")
+        return word
+
+    if op in _MEMORY_OPS:
+        word |= _check_reg(instruction.rd, "rd") << 18
+        word |= _check_reg(instruction.rn, "rn") << 14
+        if instruction.post_inc:
+            word |= 1 << 13
+        word |= _signed_field(instruction.imm, 13, "offset")
+        return word
+
+    if instruction.uses_imm:
+        word |= 1 << 22
+    word |= _check_reg(instruction.rd, "rd") << 18
+    word |= _check_reg(instruction.rn, "rn") << 14
+    if instruction.uses_imm:
+        word |= _signed_field(instruction.imm, 13, "immediate")
+    else:
+        word |= _check_reg(instruction.rm, "rm")
+    return word
+
+
+def decode(word: int) -> Instruction:
+    """Unpack a 32-bit word back into an instruction."""
+    if not 0 <= word <= MASK32:
+        raise EncodingError(f"word {word:#x} is not 32 bits")
+    op_value = (word >> 27) & 0x1F
+    try:
+        op = Op(op_value)
+    except ValueError:
+        raise EncodingError(f"unknown opcode {op_value}") from None
+    cond_value = (word >> 23) & 0xF
+    try:
+        cond = Cond(cond_value)
+    except ValueError:
+        raise EncodingError(f"unknown condition {cond_value}") from None
+
+    if op in BRANCH_OPS:
+        return Instruction(
+            op=op, cond=cond, imm=_signed_from(word, 23), uses_imm=True
+        )
+
+    uses_imm = bool((word >> 22) & 1)
+    rd = (word >> 18) & 0xF
+    rn = (word >> 14) & 0xF
+
+    if op in (Op.MOV, Op.MVN) and uses_imm:
+        return Instruction(
+            op=op, cond=cond, rd=rd, imm=_signed_from(word, 18), uses_imm=True
+        )
+
+    if op is Op.CDP:
+        return Instruction(
+            op=op,
+            cond=cond,
+            rd=rd,
+            rn=rn,
+            rm=word & 0xF,
+            imm=_unsigned_from(word >> 4, 10),
+            uses_imm=True,
+        )
+
+    if op in _MEMORY_OPS:
+        return Instruction(
+            op=op,
+            cond=cond,
+            rd=rd,
+            rn=rn,
+            imm=_signed_from(word, 13),
+            post_inc=bool((word >> 13) & 1),
+        )
+
+    if uses_imm:
+        imm = _signed_from(word, 13)
+        rm = 0
+    else:
+        imm = 0
+        rm = word & 0xF
+    return Instruction(
+        op=op,
+        cond=cond,
+        rd=rd,
+        rn=rn,
+        rm=rm,
+        imm=imm,
+        uses_imm=uses_imm,
+    )
+
+
+def encode_program(instructions: list[Instruction]) -> bytes:
+    """Encode an instruction list into a little-endian code image."""
+    return b"".join(encode(i).to_bytes(4, "little") for i in instructions)
+
+
+def decode_program(image: bytes) -> list[Instruction]:
+    """Decode a little-endian code image back into instructions."""
+    if len(image) % 4:
+        raise EncodingError("code image length is not a multiple of 4")
+    return [
+        decode(int.from_bytes(image[offset:offset + 4], "little"))
+        for offset in range(0, len(image), 4)
+    ]

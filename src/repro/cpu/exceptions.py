@@ -1,0 +1,54 @@
+"""Architecturally visible CPU events, modelled as control-flow exceptions.
+
+These are *not* errors: they are the processor's trap/fault mechanism,
+raised out of the interpreter and caught by the POrSCHE kernel, exactly
+as real exceptions transfer control to an OS handler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class CPUEvent(Exception):
+    """Base class for trap/fault events delivered to the kernel."""
+
+
+@dataclass
+class SyscallTrap(CPUEvent):
+    """A ``SWI`` instruction trapped into the kernel.
+
+    The program counter has already advanced past the SWI, so resuming
+    the process continues at the next instruction.
+    """
+
+    number: int
+
+    def __str__(self) -> str:
+        return f"SWI #{self.number}"
+
+
+@dataclass
+class ExitTrap(CPUEvent):
+    """The process requested termination (``SWI #0`` / ``HALT``)."""
+
+    status: int = 0
+
+    def __str__(self) -> str:
+        return f"exit({self.status})"
+
+
+@dataclass
+class CustomInstructionFault(CPUEvent):
+    """A CDP instruction matched neither dispatch TLB (paper Figure 1).
+
+    The program counter still points at the faulting instruction so the
+    kernel can load/map the circuit and re-issue it, or kill the process
+    if the CID was never registered.
+    """
+
+    cid: int
+    fault_pc: int
+
+    def __str__(self) -> str:
+        return f"custom instruction fault, CID {self.cid} at pc={self.fault_pc}"

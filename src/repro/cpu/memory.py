@@ -1,0 +1,89 @@
+"""Per-process byte-addressable memory.
+
+Each POrSCHE process owns a private address space (the simulator gives
+every process its own :class:`Memory`, standing in for the MMU).  The
+layout is::
+
+    0x0000_0000 .. data_base-1   : guard page(s), unmapped
+    data_base ..                 : .data image, then heap
+    ...          size            : stack, growing down from ``size``
+
+Words are little-endian.  Accesses outside the mapped range (including
+the code space at ``CODE_BASE``) raise :class:`~repro.errors.MemoryFault`,
+which the kernel treats as a fatal process error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import MemoryFault
+
+MASK32 = 0xFFFFFFFF
+
+#: Default process memory size (64 KB keeps per-process cost low while
+#: leaving room for the workload buffers).
+DEFAULT_SIZE = 64 * 1024
+
+
+@dataclass
+class Memory:
+    """A flat little-endian byte store with word/byte access."""
+
+    size: int = DEFAULT_SIZE
+    #: Addresses below this fault (null-pointer guard).
+    guard_below: int = 0x100
+    _bytes: bytearray = field(default_factory=bytearray)
+
+    def __post_init__(self) -> None:
+        if self.size <= self.guard_below:
+            raise MemoryFault(self.size, "memory smaller than guard region")
+        if not self._bytes:
+            self._bytes = bytearray(self.size)
+        elif len(self._bytes) != self.size:
+            raise MemoryFault(0, "backing store does not match size")
+
+    # ---- word access ----------------------------------------------------
+    def load_word(self, address: int) -> int:
+        self._check(address, 4)
+        if address % 4:
+            raise MemoryFault(address, "unaligned word load")
+        return int.from_bytes(self._bytes[address:address + 4], "little")
+
+    def store_word(self, address: int, value: int) -> None:
+        self._check(address, 4)
+        if address % 4:
+            raise MemoryFault(address, "unaligned word store")
+        self._bytes[address:address + 4] = (value & MASK32).to_bytes(4, "little")
+
+    # ---- byte access ------------------------------------------------------
+    def load_byte(self, address: int) -> int:
+        self._check(address, 1)
+        return self._bytes[address]
+
+    def store_byte(self, address: int, value: int) -> None:
+        self._check(address, 1)
+        self._bytes[address] = value & 0xFF
+
+    # ---- bulk access (loader / result checking) ---------------------------
+    def write_block(self, address: int, data: bytes) -> None:
+        self._check(address, max(1, len(data)))
+        self._bytes[address:address + len(data)] = data
+
+    def read_block(self, address: int, length: int) -> bytes:
+        self._check(address, max(1, length))
+        return bytes(self._bytes[address:address + length])
+
+    def read_words(self, address: int, count: int) -> list[int]:
+        return [self.load_word(address + 4 * i) for i in range(count)]
+
+    @property
+    def stack_top(self) -> int:
+        """Initial stack pointer (grows down, word aligned)."""
+        return self.size & ~0x3
+
+    def _check(self, address: int, length: int) -> None:
+        if address < self.guard_below:
+            raise MemoryFault(address, "guard page (null pointer?)")
+        if address + length > self.size:
+            raise MemoryFault(address, f"beyond end of {self.size}-byte space")

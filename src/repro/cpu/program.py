@@ -1,0 +1,102 @@
+"""Executable program images for POrSCHE processes.
+
+A :class:`Program` bundles everything the kernel needs to start a
+process: the assembled code, the initial data image, the circuit table
+(the :class:`~repro.core.circuit.CircuitSpec` objects the program's
+``SWI #1`` registrations refer to by index), and named result regions so
+tests and examples can inspect outputs after completion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.circuit import CircuitSpec
+from ..errors import WorkloadError
+from .assembler import AssembledProgram, assemble
+from .memory import DEFAULT_SIZE, Memory
+
+
+@dataclass(frozen=True)
+class ResultRegion:
+    """A named span of data memory holding a program output."""
+
+    address: int
+    length: int
+
+
+@dataclass
+class Program:
+    """A loadable program image."""
+
+    name: str
+    image: AssembledProgram
+    #: Circuit specs referenced by index from ``SWI #1`` registrations.
+    circuit_table: list[CircuitSpec] = field(default_factory=list)
+    memory_size: int = DEFAULT_SIZE
+    result_regions: dict[str, ResultRegion] = field(default_factory=dict)
+
+    @classmethod
+    def from_source(
+        cls,
+        name: str,
+        source: str,
+        circuit_table: list[CircuitSpec] | None = None,
+        memory_size: int = DEFAULT_SIZE,
+        result_labels: dict[str, int] | None = None,
+    ) -> "Program":
+        """Assemble ``source`` and build a program image.
+
+        ``result_labels`` maps a region name to its byte length; the
+        address comes from the identically named assembly label.
+        """
+        image = assemble(source)
+        regions: dict[str, ResultRegion] = {}
+        for label, length in (result_labels or {}).items():
+            regions[label] = ResultRegion(
+                address=image.label_address(label), length=length
+            )
+        program = cls(
+            name=name,
+            image=image,
+            circuit_table=list(circuit_table or []),
+            memory_size=memory_size,
+            result_regions=regions,
+        )
+        program.validate()
+        return program
+
+    def validate(self) -> None:
+        """Sanity-check the image against the memory layout."""
+        if not self.image.instructions:
+            raise WorkloadError(f"{self.name}: program has no instructions")
+        data_end = self.image.data_base + len(self.image.data)
+        if data_end > self.memory_size:
+            raise WorkloadError(
+                f"{self.name}: data section ends at {data_end:#x}, beyond "
+                f"the {self.memory_size}-byte address space"
+            )
+        names = [spec.name for spec in self.circuit_table]
+        if len(set(names)) != len(names):
+            raise WorkloadError(
+                f"{self.name}: duplicate circuit names in table"
+            )
+
+    def build_memory(self) -> Memory:
+        """Create and initialise a fresh address space for one process."""
+        memory = Memory(size=self.memory_size)
+        memory.write_block(self.image.data_base, self.image.data)
+        return memory
+
+    def circuit(self, index: int) -> CircuitSpec:
+        if not 0 <= index < len(self.circuit_table):
+            raise WorkloadError(
+                f"{self.name}: circuit table index {index} out of range"
+            )
+        return self.circuit_table[index]
+
+    def read_result(self, memory: Memory, name: str) -> bytes:
+        region = self.result_regions.get(name)
+        if region is None:
+            raise WorkloadError(f"{self.name}: no result region {name!r}")
+        return memory.read_block(region.address, region.length)

@@ -1,0 +1,101 @@
+"""The FPL array: a set of PFU placement regions.
+
+The ProteanARM partitions its fabric into fixed PFU regions (four regions
+of 500 CLBs in the paper's experiments).  A region holds at most one
+circuit's static configuration at a time; loading a circuit whose static
+image is already resident requires only a state restore.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import PlacementError
+from .bitstream import Bitstream, StateSnapshot
+
+
+@dataclass
+class PFURegion:
+    """One PFU-sized placement region of the array."""
+
+    index: int
+    clb_capacity: int
+    resident: Bitstream | None = None
+
+    @property
+    def is_free(self) -> bool:
+        return self.resident is None
+
+    def load_static(self, bitstream: Bitstream) -> int:
+        """Load a static configuration; returns bytes transferred."""
+        if bitstream.clb_count > self.clb_capacity:
+            raise PlacementError(
+                f"circuit {bitstream.name!r} needs {bitstream.clb_count} "
+                f"CLBs but region {self.index} has {self.clb_capacity}"
+            )
+        self.resident = bitstream
+        return bitstream.static_bytes
+
+    def load_state(self, snapshot: StateSnapshot) -> int:
+        """Load only a state section; returns bytes transferred."""
+        if self.resident is None:
+            raise PlacementError(
+                f"region {self.index} has no static configuration"
+            )
+        if snapshot.circuit_name != self.resident.name:
+            raise PlacementError(
+                f"state for {snapshot.circuit_name!r} does not match "
+                f"resident circuit {self.resident.name!r}"
+            )
+        return len(snapshot)
+
+    def unload(self) -> None:
+        self.resident = None
+
+
+@dataclass
+class FPLArray:
+    """The whole reconfigurable array as seen by the CIS."""
+
+    regions: list[PFURegion] = field(default_factory=list)
+
+    @classmethod
+    def build(cls, pfu_count: int, pfu_clbs: int) -> "FPLArray":
+        if pfu_count <= 0:
+            raise PlacementError("array needs at least one PFU region")
+        return cls(
+            regions=[
+                PFURegion(index=i, clb_capacity=pfu_clbs)
+                for i in range(pfu_count)
+            ]
+        )
+
+    def __len__(self) -> int:
+        return len(self.regions)
+
+    def free_regions(self) -> list[PFURegion]:
+        return [region for region in self.regions if region.is_free]
+
+    def region(self, index: int) -> PFURegion:
+        if not 0 <= index < len(self.regions):
+            raise PlacementError(f"no PFU region {index}")
+        return self.regions[index]
+
+    def find_resident(self, circuit_name: str) -> PFURegion | None:
+        """Locate a region already holding ``circuit_name``'s static image."""
+        for region in self.regions:
+            if region.resident is not None and (
+                region.resident.name == circuit_name
+            ):
+                return region
+        return None
+
+    def total_clbs(self) -> int:
+        return sum(region.clb_capacity for region in self.regions)
+
+    def occupancy(self) -> float:
+        """Fraction of regions currently holding a configuration."""
+        if not self.regions:
+            return 0.0
+        used = sum(1 for region in self.regions if not region.is_free)
+        return used / len(self.regions)

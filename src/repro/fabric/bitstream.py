@@ -1,0 +1,253 @@
+"""Configuration bitstreams with split static/state sections (paper §4.1).
+
+Moving a full configuration on or off the ProteanARM costs 54 KB of
+transfer per custom instruction, so the paper splits configurations into:
+
+* a **static section** — LUT contents and routing, which never changes
+  while a circuit exists; and
+* a **state section** — CLB register contents only, which is all that has
+  to be saved and restored when a stateful circuit is swapped.
+
+This module implements a concrete serialised format with that split, a
+checksum per section, and header flags recording the security-relevant
+properties (IOB usage, routing style) that the validator checks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass
+
+from ..errors import BitstreamError
+
+#: Magic number opening every Proteus bitstream.
+MAGIC = b"PRBS"
+#: Serialised format version.
+VERSION = 1
+
+#: Header flag bits.
+FLAG_USES_IOBS = 0x01
+FLAG_MUX_ROUTING = 0x02
+FLAG_HAS_STATE = 0x04
+
+_HEADER = struct.Struct("<4sHHII II")
+# magic, version, flags, clb_count, state_words, static_len, state_len
+
+
+def _digest(payload: bytes) -> bytes:
+    """8-byte section checksum (truncated SHA-256)."""
+    return hashlib.sha256(payload).digest()[:8]
+
+
+@dataclass(frozen=True)
+class StateSnapshot:
+    """A saved state section: what a context switch actually moves."""
+
+    circuit_name: str
+    payload: bytes
+
+    def __len__(self) -> int:
+        return len(self.payload)
+
+
+@dataclass(frozen=True)
+class Bitstream:
+    """A complete configuration image for one custom instruction."""
+
+    name: str
+    clb_count: int
+    state_words: int
+    static_section: bytes
+    state_section: bytes
+    uses_iobs: bool = False
+    mux_routing: bool = True
+
+    def __post_init__(self) -> None:
+        if self.clb_count <= 0:
+            raise BitstreamError("bitstream must configure at least one CLB")
+        if self.state_words < 0:
+            raise BitstreamError("state word count cannot be negative")
+        if not self.static_section:
+            raise BitstreamError("static section cannot be empty")
+
+    # ---- sizes -----------------------------------------------------------
+    @property
+    def static_bytes(self) -> int:
+        return len(self.static_section)
+
+    @property
+    def state_bytes(self) -> int:
+        return len(self.state_section)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.static_bytes + self.state_bytes
+
+    @property
+    def is_stateful(self) -> bool:
+        return self.state_words > 0
+
+    # ---- state movement ----------------------------------------------------
+    def snapshot_state(self, words: list[int]) -> StateSnapshot:
+        """Encode live state words into a state-section snapshot.
+
+        The payload is padded to the declared state-section size so the
+        transfer cost is constant for a given circuit, as it is in
+        hardware (whole frames move regardless of content).
+        """
+        if len(words) != self.state_words:
+            raise BitstreamError(
+                f"{self.name}: expected {self.state_words} state words, "
+                f"got {len(words)}"
+            )
+        packed = b"".join(
+            struct.pack("<I", word & 0xFFFFFFFF) for word in words
+        )
+        if len(packed) > len(self.state_section):
+            raise BitstreamError(
+                f"{self.name}: state overflows declared state section"
+            )
+        payload = packed + self.state_section[len(packed):]
+        return StateSnapshot(circuit_name=self.name, payload=payload)
+
+    def restore_state(self, snapshot: StateSnapshot) -> list[int]:
+        """Decode a snapshot back into state words."""
+        if snapshot.circuit_name != self.name:
+            raise BitstreamError(
+                f"snapshot for {snapshot.circuit_name!r} loaded into "
+                f"{self.name!r}"
+            )
+        if len(snapshot.payload) != len(self.state_section):
+            raise BitstreamError(f"{self.name}: snapshot size mismatch")
+        words = []
+        for index in range(self.state_words):
+            (word,) = struct.unpack_from("<I", snapshot.payload, index * 4)
+            words.append(word)
+        return words
+
+    # ---- serialisation --------------------------------------------------
+    def serialise(self) -> bytes:
+        """Pack the bitstream into its on-the-wire byte format."""
+        flags = 0
+        if self.uses_iobs:
+            flags |= FLAG_USES_IOBS
+        if self.mux_routing:
+            flags |= FLAG_MUX_ROUTING
+        if self.is_stateful:
+            flags |= FLAG_HAS_STATE
+        name_bytes = self.name.encode("utf-8")
+        if len(name_bytes) > 0xFF:
+            raise BitstreamError("circuit name too long to serialise")
+        header = _HEADER.pack(
+            MAGIC,
+            VERSION,
+            flags,
+            self.clb_count,
+            self.state_words,
+            len(self.static_section),
+            len(self.state_section),
+        )
+        preamble = header + bytes([len(name_bytes)]) + name_bytes
+        return b"".join(
+            [
+                preamble,
+                _digest(preamble),
+                _digest(self.static_section),
+                self.static_section,
+                _digest(self.state_section),
+                self.state_section,
+            ]
+        )
+
+
+def parse_bitstream(blob: bytes) -> Bitstream:
+    """Parse and integrity-check a serialised bitstream."""
+    if len(blob) < _HEADER.size + 1:
+        raise BitstreamError("bitstream truncated (no header)")
+    magic, version, flags, clb_count, state_words, static_len, state_len = (
+        _HEADER.unpack_from(blob, 0)
+    )
+    if magic != MAGIC:
+        raise BitstreamError(f"bad magic {magic!r}")
+    if version != VERSION:
+        raise BitstreamError(f"unsupported bitstream version {version}")
+    offset = _HEADER.size
+    name_len = blob[offset]
+    offset += 1
+    name_bytes = blob[offset:offset + name_len]
+    offset += name_len
+    header_digest = blob[offset:offset + 8]
+    offset += 8
+    if _digest(blob[:_HEADER.size + 1 + name_len]) != header_digest:
+        raise BitstreamError("header checksum mismatch")
+    try:
+        name = name_bytes.decode("utf-8")
+    except UnicodeDecodeError:
+        raise BitstreamError("circuit name is not valid UTF-8") from None
+    sections = []
+    for length in (static_len, state_len):
+        checksum = blob[offset:offset + 8]
+        offset += 8
+        payload = blob[offset:offset + length]
+        offset += length
+        if len(payload) != length:
+            raise BitstreamError("bitstream truncated (section)")
+        if _digest(payload) != checksum:
+            raise BitstreamError("section checksum mismatch")
+        sections.append(payload)
+    if offset != len(blob):
+        raise BitstreamError("trailing bytes after bitstream")
+    return Bitstream(
+        name=name,
+        clb_count=clb_count,
+        state_words=state_words,
+        static_section=sections[0],
+        state_section=sections[1],
+        uses_iobs=bool(flags & FLAG_USES_IOBS),
+        mux_routing=bool(flags & FLAG_MUX_ROUTING),
+    )
+
+
+def build_bitstream(
+    name: str,
+    clb_count: int,
+    state_words: int,
+    static_bytes: int,
+    state_bytes: int,
+    seed: int = 0,
+    uses_iobs: bool = False,
+    mux_routing: bool = True,
+) -> Bitstream:
+    """Build a deterministic synthetic bitstream of the requested shape.
+
+    Real place-and-route output is replaced by a keyed byte stream — the
+    management layer only ever observes sizes, flags, and state contents,
+    so any deterministic payload of the right size exercises the same
+    code paths.
+    """
+    if static_bytes <= 0:
+        raise BitstreamError("static section size must be positive")
+    if state_bytes < state_words * 4:
+        raise BitstreamError("state section too small for state words")
+    static = _pseudo_bytes(f"{name}:static:{seed}", static_bytes)
+    state = bytes(state_bytes)
+    return Bitstream(
+        name=name,
+        clb_count=clb_count,
+        state_words=state_words,
+        static_section=static,
+        state_section=state,
+        uses_iobs=uses_iobs,
+        mux_routing=mux_routing,
+    )
+
+
+def _pseudo_bytes(key: str, length: int) -> bytes:
+    """Deterministic pseudo-random bytes derived from ``key``."""
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        out += hashlib.sha256(f"{key}:{counter}".encode()).digest()
+        counter += 1
+    return bytes(out[:length])

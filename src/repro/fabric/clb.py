@@ -1,0 +1,135 @@
+"""Configurable Logic Block model.
+
+A CLB in the Proteus fabric holds a small number of 4-input LUTs and, for
+each LUT, an optional output register.  The paper allows registers in CLBs
+(so custom instructions can be sequential) but forbids the large block
+RAMs of modern fabrics — application state belongs in the register file or
+main memory, keeping the state section of a configuration small (§4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import FabricError
+
+#: LUT inputs in the Virtex-style fabric the ProteanARM assumes.
+LUT_INPUTS = 4
+#: LUTs per CLB (two slices of two function generators, Virtex-style).
+LUTS_PER_CLB = 4
+
+
+@dataclass
+class LUT:
+    """A single 4-input look-up table.
+
+    The truth table is stored as a 16-bit integer; bit ``i`` gives the
+    output for input pattern ``i``.
+    """
+
+    truth_table: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.truth_table < (1 << (1 << LUT_INPUTS)):
+            raise FabricError(
+                f"LUT truth table {self.truth_table:#x} exceeds 16 bits"
+            )
+
+    def evaluate(self, inputs: int) -> int:
+        """Evaluate the LUT for a 4-bit input pattern."""
+        if not 0 <= inputs < (1 << LUT_INPUTS):
+            raise FabricError(f"LUT input pattern {inputs} out of range")
+        return (self.truth_table >> inputs) & 1
+
+    def config_bits(self) -> int:
+        """Bits of static configuration this LUT contributes."""
+        return 1 << LUT_INPUTS
+
+
+@dataclass
+class CLB:
+    """One configurable logic block: LUTs plus optional output registers.
+
+    ``registered`` flags which LUT outputs pass through a flip-flop;
+    ``state`` holds the current flip-flop values.  Only registered outputs
+    contribute to the *state* section of a bitstream.
+    """
+
+    luts: list[LUT] = field(default_factory=lambda: [LUT() for _ in range(LUTS_PER_CLB)])
+    registered: list[bool] = field(default_factory=lambda: [False] * LUTS_PER_CLB)
+    state: list[int] = field(default_factory=lambda: [0] * LUTS_PER_CLB)
+
+    def __post_init__(self) -> None:
+        if len(self.luts) != LUTS_PER_CLB:
+            raise FabricError(f"CLB requires exactly {LUTS_PER_CLB} LUTs")
+        if len(self.registered) != LUTS_PER_CLB:
+            raise FabricError("registered flags must match LUT count")
+        if len(self.state) != LUTS_PER_CLB:
+            raise FabricError("state must match LUT count")
+        for bit in self.state:
+            if bit not in (0, 1):
+                raise FabricError("CLB register state must be 0/1 bits")
+
+    def clock(self, inputs: list[int]) -> list[int]:
+        """Clock the CLB once: evaluate LUTs, latch registered outputs.
+
+        Returns the CLB outputs *after* the clock edge (registered outputs
+        show the newly latched value; combinatorial outputs are direct).
+        """
+        if len(inputs) != LUTS_PER_CLB:
+            raise FabricError("one input pattern per LUT required")
+        outputs = []
+        for index, (lut, pattern) in enumerate(zip(self.luts, inputs)):
+            value = lut.evaluate(pattern)
+            if self.registered[index]:
+                self.state[index] = value
+            outputs.append(value)
+        return outputs
+
+    def state_bits(self) -> int:
+        """Number of state bits this CLB contributes (registered LUTs)."""
+        return sum(1 for flag in self.registered if flag)
+
+    def capture_state(self) -> list[int]:
+        """Snapshot the registered state bits (in LUT order)."""
+        return [
+            self.state[i]
+            for i in range(LUTS_PER_CLB)
+            if self.registered[i]
+        ]
+
+    def restore_state(self, bits: list[int]) -> None:
+        """Load previously captured state bits back into the registers."""
+        indices = [i for i in range(LUTS_PER_CLB) if self.registered[i]]
+        if len(bits) != len(indices):
+            raise FabricError(
+                f"state restore expects {len(indices)} bits, got {len(bits)}"
+            )
+        for index, bit in zip(indices, bits):
+            if bit not in (0, 1):
+                raise FabricError("state bits must be 0/1")
+            self.state[index] = bit
+
+
+@dataclass
+class CLBColumn:
+    """A column of CLBs — the granularity of Virtex configuration frames.
+
+    Partial reconfiguration on the Virtex family is column-wise; modelling
+    columns lets the bitstream builder charge whole frames even when a
+    circuit uses only part of a column.
+    """
+
+    clbs: list[CLB]
+
+    @classmethod
+    def blank(cls, height: int) -> "CLBColumn":
+        if height <= 0:
+            raise FabricError("column height must be positive")
+        return cls(clbs=[CLB() for _ in range(height)])
+
+    def __len__(self) -> int:
+        return len(self.clbs)
+
+    def state_bits(self) -> int:
+        return sum(clb.state_bits() for clb in self.clbs)

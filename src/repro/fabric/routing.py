@@ -1,0 +1,148 @@
+"""Mux-based routing fabric model.
+
+The paper assumes a mux-based routing fabric (like the Xilinx Virtex)
+because multiplexer routing *cannot* be configured into a short circuit:
+every wire is driven by exactly one mux output, and a mux selects exactly
+one source.  This module models that property structurally — a routing
+configuration is a choice of source per mux, so illegal double-driver
+configurations are unrepresentable, which is exactly the security argument
+of §4.1.
+
+By contrast, pass-transistor fabrics (modelled here only to *reject* them
+in the validator) allow two drivers onto one wire, the mechanism behind
+the "FPGA virus" attacks of Hadžić et al. that the paper cites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import FabricError
+
+
+class RouteError(FabricError):
+    """A route could not be created or resolved."""
+
+
+@dataclass(frozen=True)
+class Mux:
+    """One routing multiplexer: a sink wire fed by a set of source wires."""
+
+    sink: str
+    sources: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.sources:
+            raise RouteError(f"mux for {self.sink!r} has no sources")
+        if len(set(self.sources)) != len(self.sources):
+            raise RouteError(f"mux for {self.sink!r} has duplicate sources")
+
+
+@dataclass
+class MuxRouting:
+    """A configured selection for every mux in a routing graph.
+
+    ``selections`` maps sink wire → index into that mux's source tuple.
+    Unset muxes float to a defined, benign constant (index 0), mirroring
+    real fabrics where unconfigured muxes select a default input.
+    """
+
+    graph: "RoutingGraph"
+    selections: dict[str, int] = field(default_factory=dict)
+
+    def select(self, sink: str, source: str) -> None:
+        """Drive ``sink`` from ``source``; replaces any prior selection."""
+        mux = self.graph.mux_for(sink)
+        try:
+            index = mux.sources.index(source)
+        except ValueError:
+            raise RouteError(
+                f"{source!r} is not an input of the mux driving {sink!r}"
+            ) from None
+        self.selections[sink] = index
+
+    def source_of(self, sink: str) -> str:
+        """The wire currently driving ``sink``."""
+        mux = self.graph.mux_for(sink)
+        return mux.sources[self.selections.get(sink, 0)]
+
+    def trace(self, sink: str, limit: int = 1024) -> list[str]:
+        """Follow drivers back from ``sink`` to a primary input.
+
+        Raises :class:`RouteError` on combinatorial routing loops, another
+        misconfiguration the validator screens for.
+        """
+        path = [sink]
+        seen = {sink}
+        current = sink
+        for _ in range(limit):
+            if current in self.graph.primary_inputs:
+                return path
+            current = self.source_of(current)
+            if current in seen:
+                raise RouteError(
+                    f"routing loop detected through {current!r}"
+                )
+            seen.add(current)
+            path.append(current)
+        raise RouteError(f"route from {sink!r} exceeds {limit} hops")
+
+    def config_bits(self) -> int:
+        """Static configuration bits consumed by this routing choice."""
+        total = 0
+        for sink in self.selections:
+            width = len(self.graph.mux_for(sink).sources)
+            total += max(1, (width - 1).bit_length())
+        return total
+
+
+@dataclass
+class RoutingGraph:
+    """The static structure of the routing fabric: wires, muxes, inputs."""
+
+    primary_inputs: set[str] = field(default_factory=set)
+    muxes: dict[str, Mux] = field(default_factory=dict)
+
+    def add_primary_input(self, wire: str) -> None:
+        if wire in self.muxes:
+            raise RouteError(f"{wire!r} is already a mux sink")
+        self.primary_inputs.add(wire)
+
+    def add_mux(self, sink: str, sources: list[str]) -> Mux:
+        if sink in self.muxes:
+            raise RouteError(f"wire {sink!r} already has a driver mux")
+        if sink in self.primary_inputs:
+            raise RouteError(f"{sink!r} is a primary input")
+        mux = Mux(sink=sink, sources=tuple(sources))
+        self.muxes[sink] = mux
+        return mux
+
+    def mux_for(self, sink: str) -> Mux:
+        try:
+            return self.muxes[sink]
+        except KeyError:
+            raise RouteError(f"no mux drives wire {sink!r}") from None
+
+    def configure(self) -> MuxRouting:
+        """A fresh (all-default) configuration of this graph."""
+        return MuxRouting(graph=self)
+
+    @classmethod
+    def grid(cls, columns: int, rows: int) -> "RoutingGraph":
+        """A simple nearest-neighbour grid fabric for tests and sizing.
+
+        Each cell output ``c{x}_{y}`` can be driven from its west and north
+        neighbours or from the shared input spine ``in{x}``.
+        """
+        graph = cls()
+        for x in range(columns):
+            graph.add_primary_input(f"in{x}")
+        for y in range(rows):
+            for x in range(columns):
+                sources = [f"in{x}"]
+                if x > 0:
+                    sources.append(f"c{x - 1}_{y}")
+                if y > 0:
+                    sources.append(f"c{x}_{y - 1}")
+                graph.add_mux(f"c{x}_{y}", sources)
+        return graph

@@ -1,0 +1,87 @@
+"""Security validation of bitstreams before the OS loads them (paper §2, §4.1).
+
+Adding FPL to a workstation processor raises two security problems the
+paper calls out:
+
+* **physical** — a misconfigured circuit can damage the device (FPGA
+  viruses driving I/O pins or creating internal short circuits); and
+* **functional** — circuits must respond to interrupts and terminate.
+
+The Proteus fabric removes the physical threats *by construction* (no
+IOBs, mux routing), but an OS still has to refuse foreign bitstreams that
+claim otherwise, enforce CLB budgets, and check integrity.  This module is
+that admission check; the functional guarantees (interruptibility) are
+enforced at run time by the PFU handshake in :mod:`repro.core.pfu`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .bitstream import Bitstream
+
+
+@dataclass(frozen=True)
+class SecurityPolicy:
+    """What the operating system is willing to load."""
+
+    max_clbs: int
+    max_state_words: int = 64
+    allow_iobs: bool = False
+    require_mux_routing: bool = True
+    #: Largest plausible static section, as a sanity bound on transfers.
+    max_static_bytes: int = 1 << 20
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating one bitstream against a policy."""
+
+    bitstream_name: str
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def add(self, violation: str) -> None:
+        self.violations.append(violation)
+
+
+def validate_bitstream(
+    bitstream: Bitstream, policy: SecurityPolicy
+) -> ValidationReport:
+    """Check a bitstream against the OS security policy.
+
+    Returns a report rather than raising, so the CIS can decide whether to
+    reject the registration or kill the offending process.
+    """
+    report = ValidationReport(bitstream_name=bitstream.name)
+    if bitstream.uses_iobs and not policy.allow_iobs:
+        report.add(
+            "circuit requests IOB access; the Proteus fabric has no IOBs "
+            "(physical-damage vector, Hadzic et al.)"
+        )
+    if policy.require_mux_routing and not bitstream.mux_routing:
+        report.add(
+            "circuit was routed for a non-mux fabric; pass-transistor "
+            "routing permits short-circuit misconfiguration"
+        )
+    if bitstream.clb_count > policy.max_clbs:
+        report.add(
+            f"circuit needs {bitstream.clb_count} CLBs; PFU regions hold "
+            f"{policy.max_clbs}"
+        )
+    if bitstream.state_words > policy.max_state_words:
+        report.add(
+            f"circuit declares {bitstream.state_words} state words; policy "
+            f"allows {policy.max_state_words} (state must stay small, §4.1)"
+        )
+    if bitstream.static_bytes > policy.max_static_bytes:
+        report.add(
+            f"static section of {bitstream.static_bytes} bytes exceeds "
+            f"sanity bound {policy.max_static_bytes}"
+        )
+    if bitstream.state_bytes < bitstream.state_words * 4:
+        report.add("state section too small for declared state words")
+    return report

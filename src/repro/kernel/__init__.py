@@ -1,0 +1,43 @@
+"""POrSCHE — Proteus Operating System and Configurable Hardware Environment.
+
+A hosted model of the kernel the paper builds to demonstrate the
+ProteanARM (§5): a pre-emptive round-robin process scheduler plus the
+Custom Instruction Scheduler (CIS) that manages circuits registered by
+applications — loading and unloading them, maintaining the dispatch
+TLBs, and choosing replacement victims under contention.
+
+Kernel work is charged in cycles to the simulated clock, so management
+overhead erodes application throughput exactly as the paper studies.
+"""
+
+from .process import Process, ProcessState, Registration
+from .scheduler import RoundRobinScheduler
+from .replacement import (
+    LRUReplacement,
+    RandomReplacement,
+    ReplacementPolicy,
+    RoundRobinReplacement,
+    SecondChanceReplacement,
+    make_policy,
+)
+from .cis import CISStats, CustomInstructionScheduler
+from .porsche import KernelStats, Porsche
+from .syscalls import Syscall
+
+__all__ = [
+    "Process",
+    "ProcessState",
+    "Registration",
+    "RoundRobinScheduler",
+    "LRUReplacement",
+    "RandomReplacement",
+    "ReplacementPolicy",
+    "RoundRobinReplacement",
+    "SecondChanceReplacement",
+    "make_policy",
+    "CISStats",
+    "CustomInstructionScheduler",
+    "KernelStats",
+    "Porsche",
+    "Syscall",
+]

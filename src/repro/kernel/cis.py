@@ -1,0 +1,337 @@
+"""The Custom Instruction Scheduler (paper §5).
+
+The CIS is the kernel component that "manages the circuits registered
+with the OS by different applications ... responsible for loading and
+unloading circuits and for managing the dispatch hardware".  Its fault
+handler implements the policy side of Figure 1:
+
+* **illegal CID** → the process is killed;
+* **mapping fault** — the circuit is still loaded but its (PID, CID)
+  tuple was pushed out of the finite TLB → reinstall the mapping only
+  (§4.2 explicitly requires this check before any load);
+* **load fault** — the circuit is not on the array:
+
+  - a free PFU exists → load it there (preferring a region that already
+    holds this circuit's static image, so only state moves);
+  - the array is full and a software alternative is registered (and the
+    kernel is configured to prefer it, or previously chose it) → install
+    a software mapping instead of swapping (§2, Figure 3's "Soft" runs);
+  - otherwise → pick a victim with the replacement policy, save its
+    state section off, and load the new circuit.
+
+All CIS work is charged in cycles; configuration movement dominates, as
+the paper intends (54 KB static vs. a few hundred bytes of state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import MachineConfig
+from ..core.coprocessor import ProteusCoprocessor
+from ..core.pfu import PFU
+from ..core.tlb import IDTuple
+from ..errors import KernelError, ProcessKilled
+from ..fabric.validate import SecurityPolicy, validate_bitstream
+from .process import Process, Registration
+from .replacement import ReplacementPolicy
+
+
+@dataclass
+class CISStats:
+    """Management-cost accounting across a whole run."""
+
+    registrations: int = 0
+    rejected_registrations: int = 0
+    mapping_faults: int = 0
+    loads: int = 0
+    evictions: int = 0
+    soft_deferrals: int = 0
+    soft_remaps: int = 0
+    state_swaps: int = 0
+    promotions: int = 0
+    kills: int = 0
+    static_bytes_moved: int = 0
+    state_bytes_moved: int = 0
+    kernel_cycles: int = 0
+
+    @property
+    def total_bytes_moved(self) -> int:
+        return self.static_bytes_moved + self.state_bytes_moved
+
+
+@dataclass
+class CustomInstructionScheduler:
+    """Kernel-side manager of the Proteus coprocessor."""
+
+    config: MachineConfig
+    coprocessor: ProteusCoprocessor
+    policy: ReplacementPolicy
+    processes: dict[int, Process]
+    security: SecurityPolicy = field(init=False)
+    stats: CISStats = field(default_factory=CISStats)
+
+    def __post_init__(self) -> None:
+        self.security = SecurityPolicy(
+            max_clbs=self.config.pfu_clbs,
+            max_state_words=64,
+        )
+
+    # ------------------------------------------------------------------
+    # registration (SWI #1)
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        process: Process,
+        cid: int,
+        table_index: int,
+        soft_address: int | None,
+    ) -> int:
+        """Register a custom instruction for ``process``; returns cycles.
+
+        The bitstream is validated against the OS security policy before
+        it is accepted (§2's security requirements); a rejected bitstream
+        kills the process, as would loading hostile configuration data.
+        """
+        spec = process.program.circuit(table_index)
+        instance = spec.instantiate(
+            pid=process.pid, config=self.config, seed=self.config.seed
+        )
+        report = validate_bitstream(instance.bitstream, self.security)
+        cycles = self.config.syscall_cycles + self.config.cis_decision_cycles
+        self.stats.kernel_cycles += cycles
+        if not report.ok:
+            self.stats.rejected_registrations += 1
+            self._kill(process, f"bitstream rejected: {report.violations[0]}")
+        registration = Registration(
+            cid=cid,
+            instance=instance,
+            soft_address=soft_address if soft_address else None,
+        )
+        process.register(registration)
+        self.stats.registrations += 1
+        return cycles
+
+    def register_alias(
+        self, process: Process, cid: int, target_cid: int
+    ) -> int:
+        """Map an additional CID onto an already-registered instruction.
+
+        §4.2: "a custom instruction can have many ID tuples associated
+        with it to facilitate sharing custom instructions" — the dispatch
+        flexibility PRISC lacks.  Both CIDs resolve to the same circuit
+        instance (and hence the same PFU); each gets its own TLB tuple.
+        """
+        cycles = self.config.syscall_cycles
+        self.stats.kernel_cycles += cycles
+        target = process.registration(target_cid)
+        if target is None:
+            self._kill(
+                process,
+                f"alias CID {cid} targets unregistered CID {target_cid}",
+            )
+        if cid in process.registrations:
+            self._kill(process, f"CID {cid} already registered")
+        process.registrations[cid] = target
+        self.stats.registrations += 1
+        return cycles
+
+    # ------------------------------------------------------------------
+    # fault handling (Figure 1's "Fault" edge)
+    # ------------------------------------------------------------------
+    def handle_fault(self, process: Process, cid: int) -> tuple[int, str]:
+        """Resolve a custom-instruction fault; returns (cycles, action).
+
+        Raises :class:`ProcessKilled` when the CID was never registered.
+        """
+        cycles = self.config.fault_entry_cycles
+        registration = process.registration(cid)
+        if registration is None:
+            self.stats.kernel_cycles += cycles
+            self._kill(process, f"unregistered CID {cid}")
+        key = IDTuple(pid=process.pid, cid=cid)
+
+        # Mapping fault: loaded, but the tuple fell out of the TLB (§4.2).
+        if registration.pfu_index is not None:
+            self.coprocessor.dispatch.map_hardware(key, registration.pfu_index)
+            cycles += self.config.tlb_update_cycles
+            self.stats.mapping_faults += 1
+            process.stats.mapping_faults += 1
+            self.stats.kernel_cycles += cycles
+            return cycles, "mapping"
+
+        # Free PFU available?  A free slot always beats sharing: paying
+        # one static transfer now is cheaper than serialising processes
+        # onto a single shared PFU while others sit idle.
+        free = self._pick_free_pfu(registration)
+        if free is not None:
+            cycles += self.config.cis_decision_cycles
+            cycles += self._load_into(free, registration, key)
+            process.stats.load_faults += 1
+            self.stats.kernel_cycles += cycles
+            return cycles, "load"
+
+        # Array full but another process's instance of the same circuit
+        # is resident — swap only the state section instead of moving
+        # 54 KB of static configuration (§4.2, §5.1).
+        if self.config.allow_sharing:
+            shared = self._find_shareable(registration)
+            if shared is not None:
+                cycles += self._share_pfu(shared, registration, key)
+                self.stats.kernel_cycles += cycles
+                return cycles, "share"
+
+        # Array full: defer to software if registered and preferred.
+        if registration.soft_address is not None and (
+            self.config.prefer_software_when_full or registration.soft_mapped
+        ):
+            self.coprocessor.dispatch.map_software(
+                key, registration.soft_address
+            )
+            cycles += self.config.tlb_update_cycles
+            if registration.soft_mapped:
+                self.stats.soft_remaps += 1
+            else:
+                registration.soft_mapped = True
+                self.stats.soft_deferrals += 1
+            process.stats.soft_deferrals += 1
+            self.stats.kernel_cycles += cycles
+            return cycles, "soft"
+
+        # Array full: evict a victim and load.
+        cycles += self.policy.decision_cycles(self.config)
+        victim = self.policy.choose(
+            self.coprocessor.pfus.configured_pfus(), self.coprocessor.pfus
+        )
+        cycles += self._evict(victim)
+        cycles += self._load_into(victim, registration, key)
+        process.stats.load_faults += 1
+        self.stats.kernel_cycles += cycles
+        return cycles, "swap"
+
+    # ------------------------------------------------------------------
+    # process exit
+    # ------------------------------------------------------------------
+    def process_exit(self, process: Process) -> int:
+        """Release a dead process's circuits and mappings; returns cycles."""
+        cycles = self.config.cis_decision_cycles
+        freed: list[int] = []
+        for registration in process.registrations.values():
+            if registration.pfu_index is not None:
+                pfu_index = registration.pfu_index
+                self.coprocessor.unload_circuit(pfu_index, keep_static=True)
+                registration.pfu_index = None
+                freed.append(pfu_index)
+        self.coprocessor.dispatch.unmap_pid(process.pid)
+        if self.config.promote_on_free:
+            for pfu_index in freed:
+                cycles += self._promote_into(pfu_index)
+        self.stats.kernel_cycles += cycles
+        return cycles
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _pick_free_pfu(self, registration: Registration) -> PFU | None:
+        """Choose a free PFU, preferring a resident static image when the
+        reuse optimisation is enabled."""
+        free = self.coprocessor.pfus.free_pfus()
+        if not free:
+            return None
+        if self.config.reuse_resident_static:
+            wanted = registration.instance.bitstream.name
+            for pfu in free:
+                region = self.coprocessor.array.region(pfu.index)
+                if region.resident is not None and (
+                    region.resident.name == wanted
+                ):
+                    return pfu
+        return free[0]
+
+    def _load_into(
+        self,
+        pfu: PFU,
+        registration: Registration,
+        key: IDTuple,
+        reuse_static: bool | None = None,
+    ) -> int:
+        """Transfer a circuit into ``pfu`` and map it; returns cycles."""
+        moved = self.coprocessor.load_circuit(
+            pfu.index, registration.instance, reuse_static=reuse_static
+        )
+        state_bytes = registration.instance.bitstream.state_bytes
+        static_bytes = moved - state_bytes
+        self.stats.static_bytes_moved += max(0, static_bytes)
+        self.stats.state_bytes_moved += min(moved, state_bytes)
+        registration.pfu_index = pfu.index
+        registration.soft_mapped = False
+        registration.loads += 1
+        self.stats.loads += 1
+        self.coprocessor.dispatch.map_hardware(key, pfu.index)
+        return self.config.transfer_cycles(moved) + self.config.tlb_update_cycles
+
+    def _evict(self, victim: PFU) -> int:
+        """Save a victim circuit's state off the array; returns cycles."""
+        instance = victim.instance
+        if instance is None:
+            raise KernelError(f"evicting empty PFU {victim.index}")
+        owner = self.processes.get(instance.pid)
+        __, state_bytes = self.coprocessor.unload_circuit(
+            victim.index, keep_static=True
+        )
+        self.stats.state_bytes_moved += state_bytes
+        self.stats.evictions += 1
+        if owner is not None:
+            for registration in owner.registrations.values():
+                if registration.instance is instance:
+                    registration.pfu_index = None
+                    registration.evictions += 1
+        return self.config.transfer_cycles(state_bytes)
+
+    def _find_shareable(self, registration: Registration) -> PFU | None:
+        wanted = registration.instance.spec.name
+        for pfu in self.coprocessor.pfus.configured_pfus():
+            if pfu.instance is not None and (
+                pfu.instance.spec.name == wanted and not pfu.instance.busy
+            ):
+                return pfu
+        return None
+
+    def _share_pfu(
+        self, pfu: PFU, registration: Registration, key: IDTuple
+    ) -> int:
+        """Swap only circuit state to hand a PFU to another process."""
+        cycles = self.config.cis_decision_cycles
+        cycles += self._evict(pfu)
+        cycles += self._load_into(pfu, registration, key, reuse_static=True)
+        self.stats.state_swaps += 1
+        return cycles
+
+    def _promote_into(self, pfu_index: int) -> int:
+        """Promote a software-deferred circuit into a freed PFU (§5.1.3)."""
+        pfu = self.coprocessor.pfus.pfu(pfu_index)
+        if pfu.configured:
+            return 0
+        for process in self.processes.values():
+            if not process.alive:
+                continue
+            for registration in process.registrations.values():
+                if not (
+                    registration.soft_mapped
+                    and registration.pfu_index is None
+                    and registration.instance.spec.promotable
+                ):
+                    # Stateful streaming circuits stay on the software
+                    # path once deferred: their in-fabric state (tap
+                    # history, phase machine) would not match the state
+                    # the software alternative accumulated in memory.
+                    continue
+                key = IDTuple(pid=process.pid, cid=registration.cid)
+                cycles = self._load_into(pfu, registration, key)
+                self.stats.promotions += 1
+                return cycles
+        return 0
+
+    def _kill(self, process: Process, reason: str) -> None:
+        self.stats.kills += 1
+        raise ProcessKilled(pid=process.pid, reason=reason)

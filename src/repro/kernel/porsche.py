@@ -1,0 +1,282 @@
+"""The POrSCHE kernel: process lifecycle, quanta, trap handling.
+
+The kernel drives each process's CPU in quantum-sized bursts.  Traps
+(syscalls, custom-instruction faults) are handled synchronously in the
+running process's time, and their cost is charged against both the
+simulated clock and the remaining quantum — management overhead therefore
+erodes throughput exactly as the paper's experiments measure.
+
+A timer interrupt (quantum expiry) pre-empts the process even in the
+middle of a long-running custom instruction; the Proteus status-register
+protocol (§4.4) makes the re-issue on the next quantum transparent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import MachineConfig
+from ..core.coprocessor import ProteusCoprocessor
+from ..cpu.exceptions import CustomInstructionFault, ExitTrap, SyscallTrap
+from ..cpu.program import Program
+from ..errors import KernelError, ProcessKilled, ReproError
+from .cis import CustomInstructionScheduler
+from .process import Process, ProcessState, create_process
+from .replacement import ReplacementPolicy, make_policy
+from .scheduler import RoundRobinScheduler
+from .syscalls import Syscall
+
+MASK32 = 0xFFFFFFFF
+
+
+@dataclass
+class KernelStats:
+    """Run-level accounting, filled in as the kernel executes."""
+
+    total_cycles: int = 0
+    quanta: int = 0
+    context_switches: int = 0
+    timer_interrupts: int = 0
+    syscalls: int = 0
+    faults: int = 0
+    fault_actions: dict[str, int] = field(default_factory=dict)
+    kills: int = 0
+
+    def record_fault(self, action: str) -> None:
+        self.faults += 1
+        self.fault_actions[action] = self.fault_actions.get(action, 0) + 1
+
+
+class Porsche:
+    """The kernel instance owning one simulated machine's software state."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        policy: ReplacementPolicy | None = None,
+    ) -> None:
+        self.config = config
+        self.coprocessor = ProteusCoprocessor(config=config)
+        self.processes: dict[int, Process] = {}
+        self.scheduler = RoundRobinScheduler()
+        self.policy = policy or make_policy("round_robin", seed=config.seed)
+        self.cis = CustomInstructionScheduler(
+            config=config,
+            coprocessor=self.coprocessor,
+            policy=self.policy,
+            processes=self.processes,
+        )
+        self.clock = 0
+        self.stats = KernelStats()
+        self._next_pid = 1
+        self._last_running: Process | None = None
+
+    # ------------------------------------------------------------------
+    # process lifecycle
+    # ------------------------------------------------------------------
+    def spawn(self, program: Program) -> Process:
+        """Create a process from a program image and make it runnable."""
+        pid = self._next_pid
+        self._next_pid += 1
+        process = create_process(
+            pid=pid,
+            program=program,
+            config=self.config,
+            coprocessor=self.coprocessor,
+        )
+        self.processes[pid] = process
+        self.scheduler.add(process)
+        return process
+
+    @property
+    def alive_processes(self) -> list[Process]:
+        return [p for p in self.processes.values() if p.alive]
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self, max_cycles: int | None = None) -> KernelStats:
+        """Run until every process has finished (or ``max_cycles``)."""
+        while True:
+            if max_cycles is not None and self.clock >= max_cycles:
+                return self.stats
+            process = self.scheduler.pick()
+            if process is None:
+                return self.stats
+            self._run_quantum(process)
+
+    def run_quantum(self) -> bool:
+        """Run a single quantum; returns False when nothing is runnable."""
+        process = self.scheduler.pick()
+        if process is None:
+            return False
+        self._run_quantum(process)
+        return True
+
+    # -------------------------------------------------------------------
+    def _run_quantum(self, process: Process) -> None:
+        self._switch_to(process)
+        self.stats.quanta += 1
+        process.stats.quanta += 1
+        budget = self.config.quantum_cycles
+        while budget > 0 and process.alive:
+            try:
+                result = process.cpu.run(budget)
+            except ReproError as error:
+                # Memory faults and illegal CPU states are fatal to the
+                # process (the moral equivalent of SIGSEGV), not the kernel.
+                self._kill(process, str(error))
+                break
+            self._charge_cpu(process, result.cycles)
+            budget -= result.cycles
+            event = result.event
+            if event is None:
+                # Budget exhausted: the timer interrupt pre-empts the
+                # process (possibly mid custom-instruction, §4.4).
+                self.stats.timer_interrupts += 1
+                break
+            if isinstance(event, ExitTrap):
+                self._finish(process, status=event.status)
+            elif isinstance(event, SyscallTrap):
+                budget -= self._syscall(process, event.number, budget)
+            elif isinstance(event, CustomInstructionFault):
+                budget -= self._fault(process, event)
+                if budget <= 0 and process.alive:
+                    # The fault handler consumed the rest of the quantum
+                    # (a configuration load can exceed a short quantum).
+                    # On return from the handler the faulting instruction
+                    # re-issues and retires at least one cycle before the
+                    # timer preempts; without this, two processes whose
+                    # loads outlast the quantum could evict each other's
+                    # circuits forever with zero progress.  A partially
+                    # executed custom instruction keeps its progress in
+                    # the PFU/state section (§4.4), so one cycle is
+                    # genuine forward progress.
+                    budget = 1
+            else:  # pragma: no cover - future event kinds
+                raise KernelError(f"unhandled CPU event {event!r}")
+        if process.alive:
+            self.scheduler.preempt(process)
+
+    def _switch_to(self, process: Process) -> None:
+        if self._last_running is process:
+            return
+        if self._last_running is not None:
+            self._last_running.coproc_context = self.coprocessor.save_context()
+        self.coprocessor.restore_context(process.coproc_context)
+        self._charge_kernel(process, self.config.context_switch_cycles)
+        self.stats.context_switches += 1
+        self.on_context_switch(process)
+        self._last_running = process
+
+    def on_context_switch(self, process: Process) -> None:
+        """Hook for architecture baselines (PRISC flushes TLBs here).
+
+        The Proteus architecture deliberately does nothing: dispatch
+        mappings are PID-tagged.
+        """
+
+    # -------------------------------------------------------------------
+    # traps
+    # -------------------------------------------------------------------
+    def _syscall(self, process: Process, number: int, budget: int) -> int:
+        """Handle a syscall; returns cycles charged."""
+        cycles = self.config.syscall_cycles
+        self.stats.syscalls += 1
+        process.stats.syscalls += 1
+        regs = process.cpu_state.regs
+        try:
+            call = Syscall(number)
+        except ValueError:
+            self._charge_kernel(process, cycles)
+            self._kill(process, f"unknown syscall {number}")
+            return cycles
+
+        if call is Syscall.EXIT:
+            self._charge_kernel(process, cycles)
+            self._finish(process, status=regs[0])
+            return cycles
+        if call is Syscall.REGISTER:
+            soft = regs[2] if regs[2] != 0 else None
+            try:
+                cycles += self.cis.register(
+                    process, cid=regs[0], table_index=regs[1], soft_address=soft
+                )
+            except ProcessKilled as killed:
+                self._charge_kernel(process, cycles)
+                self._kill(process, killed.reason)
+                return cycles
+            except ReproError as error:
+                self._charge_kernel(process, cycles)
+                self._kill(process, str(error))
+                return cycles
+            self._charge_kernel(process, cycles)
+            return cycles
+        if call is Syscall.YIELD:
+            self._charge_kernel(process, cycles)
+            return budget  # consume the rest of the quantum
+        if call is Syscall.WRITE:
+            process.output.append(regs[0])
+            self._charge_kernel(process, cycles)
+            return cycles
+        if call is Syscall.CLOCK:
+            regs[0] = self.clock & MASK32
+            self._charge_kernel(process, cycles)
+            return cycles
+        if call is Syscall.ALIAS:
+            try:
+                cycles += self.cis.register_alias(
+                    process, cid=regs[0], target_cid=regs[1]
+                )
+            except ProcessKilled as killed:
+                self._charge_kernel(process, cycles)
+                self._kill(process, killed.reason)
+                return cycles
+            self._charge_kernel(process, cycles)
+            return cycles
+        raise KernelError(f"unhandled syscall {call!r}")  # pragma: no cover
+
+    def _fault(self, process: Process, fault: CustomInstructionFault) -> int:
+        """Handle a custom-instruction fault; returns cycles charged."""
+        try:
+            cycles, action = self.cis.handle_fault(process, fault.cid)
+        except ProcessKilled as killed:
+            self._charge_kernel(process, self.config.fault_entry_cycles)
+            self._kill(process, killed.reason)
+            return self.config.fault_entry_cycles
+        self._charge_kernel(process, cycles)
+        self.stats.record_fault(action)
+        return cycles
+
+    # ------------------------------------------------------------------
+    # termination
+    # ------------------------------------------------------------------
+    def _finish(self, process: Process, status: int) -> None:
+        process.state = ProcessState.EXITED
+        process.exit_status = status
+        process.completion_cycle = self.clock
+        cycles = self.cis.process_exit(process)
+        self.clock += cycles
+        self.stats.total_cycles = self.clock
+
+    def _kill(self, process: Process, reason: str) -> None:
+        process.state = ProcessState.KILLED
+        process.kill_reason = reason
+        process.completion_cycle = self.clock
+        self.stats.kills += 1
+        cycles = self.cis.process_exit(process)
+        self.clock += cycles
+        self.stats.total_cycles = self.clock
+
+    # -------------------------------------------------------------------
+    # accounting
+    # -------------------------------------------------------------------
+    def _charge_cpu(self, process: Process, cycles: int) -> None:
+        self.clock += cycles
+        process.stats.cpu_cycles += cycles
+        self.stats.total_cycles = self.clock
+
+    def _charge_kernel(self, process: Process, cycles: int) -> None:
+        self.clock += cycles
+        process.stats.kernel_cycles += cycles
+        self.stats.total_cycles = self.clock

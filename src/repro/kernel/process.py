@@ -1,0 +1,129 @@
+"""Processes and their kernel bookkeeping (PCBs).
+
+Each process owns a private address space, an ARM register context, a
+saved coprocessor context (FPL register file + operand registers), and a
+table of circuit registrations made through ``SWI #1``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..core.circuit import CircuitInstance
+from ..cpu.core import CPU, CPUState
+from ..cpu.isa import code_address
+from ..cpu.memory import Memory
+from ..cpu.program import Program
+from ..errors import KernelError
+
+
+class ProcessState(enum.Enum):
+    """Lifecycle states of a POrSCHE process."""
+
+    READY = "ready"
+    RUNNING = "running"
+    EXITED = "exited"
+    KILLED = "killed"
+
+
+@dataclass
+class Registration:
+    """One (CID → custom instruction) registration for a process.
+
+    ``pfu_index`` is the kernel's record of where the instance currently
+    resides: ``None`` means swapped out (state held in ``instance``).
+    ``soft_address`` is the optional software alternative entry point.
+    """
+
+    cid: int
+    instance: CircuitInstance
+    soft_address: int | None = None
+    pfu_index: int | None = None
+    #: Statistics.
+    loads: int = 0
+    evictions: int = 0
+    soft_mapped: bool = False
+
+
+@dataclass
+class ProcessStats:
+    """Per-process accounting for the evaluation harness."""
+
+    cpu_cycles: int = 0
+    kernel_cycles: int = 0
+    quanta: int = 0
+    mapping_faults: int = 0
+    load_faults: int = 0
+    soft_deferrals: int = 0
+    syscalls: int = 0
+
+    @property
+    def total_cycles(self) -> int:
+        return self.cpu_cycles + self.kernel_cycles
+
+
+@dataclass
+class Process:
+    """A POrSCHE process: program image + execution contexts + PCB."""
+
+    pid: int
+    program: Program
+    memory: Memory
+    cpu_state: CPUState
+    cpu: CPU
+    coproc_context: dict
+    state: ProcessState = ProcessState.READY
+    registrations: dict[int, Registration] = field(default_factory=dict)
+    #: Values emitted through the debug-output syscall.
+    output: list[int] = field(default_factory=list)
+    #: Simulated clock value when the process finished (exit or kill).
+    completion_cycle: int | None = None
+    exit_status: int | None = None
+    kill_reason: str | None = None
+    stats: ProcessStats = field(default_factory=ProcessStats)
+
+    @property
+    def alive(self) -> bool:
+        return self.state in (ProcessState.READY, ProcessState.RUNNING)
+
+    def registration(self, cid: int) -> Registration | None:
+        return self.registrations.get(cid)
+
+    def register(self, registration: Registration) -> None:
+        if registration.cid in self.registrations:
+            raise KernelError(
+                f"pid {self.pid}: CID {registration.cid} already registered"
+            )
+        self.registrations[registration.cid] = registration
+
+    def loaded_instances(self) -> list[Registration]:
+        return [
+            reg for reg in self.registrations.values() if reg.pfu_index is not None
+        ]
+
+    def read_result(self, name: str) -> bytes:
+        """Read a named result region from the process's memory."""
+        return self.program.read_result(self.memory, name)
+
+
+def create_process(pid: int, program: Program, config, coprocessor) -> Process:
+    """Build a ready-to-run process from a program image."""
+    memory = program.build_memory()
+    cpu_state = CPUState(memory=memory)
+    cpu_state.pc = code_address(program.image.entry_index)
+    cpu = CPU(
+        config=config,
+        program=program.image.instructions,
+        state=cpu_state,
+        coprocessor=coprocessor,
+        pid=pid,
+    )
+    return Process(
+        pid=pid,
+        program=program,
+        memory=memory,
+        cpu_state=cpu_state,
+        cpu=cpu,
+        coproc_context=coprocessor.fresh_context(),
+    )

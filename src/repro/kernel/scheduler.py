@@ -1,0 +1,69 @@
+"""The pre-emptive round-robin process scheduler (paper §5).
+
+POrSCHE "uses a simple pre-emptive round robin process scheduler to run
+multiple processes".  The scheduler keeps a circular ready queue; each
+pick rotates the queue, and processes that exit simply leave it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..errors import KernelError
+from .process import Process, ProcessState
+
+
+@dataclass
+class RoundRobinScheduler:
+    """Circular ready queue with O(1) rotation."""
+
+    _queue: deque[Process] = field(default_factory=deque)
+    last_pid: int | None = None
+    #: Statistics.
+    picks: int = 0
+    switches: int = 0
+
+    def add(self, process: Process) -> None:
+        if not process.alive:
+            raise KernelError(f"cannot schedule dead process {process.pid}")
+        self._queue.append(process)
+
+    def remove(self, process: Process) -> None:
+        try:
+            self._queue.remove(process)
+        except ValueError:
+            raise KernelError(
+                f"process {process.pid} is not in the ready queue"
+            ) from None
+
+    def pick(self) -> Process | None:
+        """Rotate to the next runnable process.
+
+        Returns ``None`` when the queue is empty.  Dead processes found at
+        the head are dropped (they exited during their last quantum).
+        """
+        while self._queue:
+            process = self._queue.popleft()
+            if not process.alive:
+                continue
+            self._queue.append(process)
+            self.picks += 1
+            if self.last_pid is not None and self.last_pid != process.pid:
+                self.switches += 1
+            self.last_pid = process.pid
+            process.state = ProcessState.RUNNING
+            return process
+        return None
+
+    def preempt(self, process: Process) -> None:
+        """Mark the current process ready again at end of quantum."""
+        if process.alive:
+            process.state = ProcessState.READY
+
+    @property
+    def runnable(self) -> int:
+        return sum(1 for process in self._queue if process.alive)
+
+    def __len__(self) -> int:
+        return len(self._queue)

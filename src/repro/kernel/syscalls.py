@@ -1,0 +1,31 @@
+"""POrSCHE syscall numbers (the ``SWI #n`` interface).
+
+A deliberately tiny interface — just enough for the workloads:
+
+======  ============  ===========================================
+number  name          registers
+======  ============  ===========================================
+0       EXIT          r0 = exit status
+1       REGISTER      r0 = CID, r1 = circuit-table index,
+                      r2 = software-alternative address (0 = none)
+2       YIELD         —
+3       WRITE         r0 = word appended to the process output log
+4       CLOCK         r0 ← low 32 bits of the cycle clock
+5       ALIAS         r0 = new CID, r1 = already-registered CID
+======  ============  ===========================================
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Syscall(enum.IntEnum):
+    """POrSCHE system call numbers."""
+
+    EXIT = 0
+    REGISTER = 1
+    YIELD = 2
+    WRITE = 3
+    CLOCK = 4
+    ALIAS = 5

@@ -1,0 +1,161 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``fig2`` — regenerate Figure 2 (basic scheduling test);
+* ``fig3`` — regenerate Figure 3 (software dispatch test);
+* ``speedup`` — the accelerated-vs-unaccelerated comparison (§5.1.1);
+* ``run`` — a single experiment point with full statistics.
+
+All commands accept ``--scale`` (default 1e-3; smaller is faster and
+coarser) and write CSV next to the plain-text rendering when ``--csv``
+is given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .experiment import ExperimentSpec, run_experiment
+from .figures import contention_knees, figure2, figure3, speedup_table
+from .report import render_figure, render_speedup, render_table
+from .scaling import DEFAULT_SCALE
+
+
+def _progress(stream):
+    start = time.time()
+
+    def report(label: str, done: int, total: int) -> None:
+        elapsed = time.time() - start
+        print(
+            f"\r[{done:3d}/{total}] {elapsed:6.1f}s  {label:<40}",
+            end="",
+            file=stream,
+            flush=True,
+        )
+
+    return report
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale", type=float, default=DEFAULT_SCALE,
+        help="platform scale (1.0 = paper-faithful 100 MHz; default %(default)s)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--max-instances", type=int, default=8,
+        help="sweep 1..N concurrent instances (default 8)",
+    )
+    parser.add_argument(
+        "--verify", action="store_true",
+        help="check every process output against the reference models",
+    )
+    parser.add_argument("--csv", metavar="PATH", help="also write CSV data")
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress output"
+    )
+
+
+def _emit(figure, args) -> None:
+    print(file=sys.stderr)
+    print(render_table(figure))
+    print()
+    print(render_figure(figure))
+    print()
+    knees = contention_knees(figure)
+    print("Contention knees (first instance count above the linear trend):")
+    for label, knee in knees.items():
+        print(f"  {label:<32} {knee if knee is not None else '-'}")
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            handle.write(figure.to_csv() + "\n")
+        print(f"\nCSV written to {args.csv}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of Dales, 'Managing a Reconfigurable Processor "
+            "in a General Purpose Workstation Environment' (DATE 2003)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p2 = sub.add_parser("fig2", help="basic scheduling test (Figure 2)")
+    _add_common(p2)
+    p3 = sub.add_parser("fig3", help="software dispatch test (Figure 3)")
+    _add_common(p3)
+    ps = sub.add_parser("speedup", help="accelerated vs unaccelerated")
+    _add_common(ps)
+
+    pr = sub.add_parser("run", help="one experiment point")
+    _add_common(pr)
+    pr.add_argument("workload", choices=("echo", "alpha", "twofish"))
+    pr.add_argument("instances", type=int)
+    pr.add_argument("--quantum-ms", type=float, default=10.0)
+    pr.add_argument(
+        "--policy", default="round_robin",
+        choices=("round_robin", "random", "lru", "second_chance"),
+    )
+    pr.add_argument("--soft", action="store_true",
+                    help="defer to software alternatives when the array is full")
+    pr.add_argument(
+        "--architecture", default="proteus",
+        choices=("proteus", "prisc", "memmap"),
+    )
+
+    args = parser.parse_args(argv)
+    progress = None if args.quiet else _progress(sys.stderr)
+
+    if args.command == "fig2":
+        figure = figure2(
+            scale=args.scale,
+            instances=range(1, args.max_instances + 1),
+            seed=args.seed,
+            verify=args.verify,
+            progress=progress,
+        )
+        _emit(figure, args)
+    elif args.command == "fig3":
+        figure = figure3(
+            scale=args.scale,
+            instances=range(1, args.max_instances + 1),
+            seed=args.seed,
+            verify=args.verify,
+            progress=progress,
+        )
+        _emit(figure, args)
+    elif args.command == "speedup":
+        figure = speedup_table(scale=args.scale, seed=args.seed)
+        print(render_speedup(figure))
+        if args.csv:
+            with open(args.csv, "w") as handle:
+                handle.write(figure.to_csv() + "\n")
+    elif args.command == "run":
+        spec = ExperimentSpec(
+            workload=args.workload,
+            instances=args.instances,
+            quantum_ms=args.quantum_ms,
+            policy=args.policy,
+            soft=args.soft,
+            architecture=args.architecture,
+            scale=args.scale,
+            seed=args.seed,
+        )
+        outcome = run_experiment(spec, verify=args.verify)
+        print(f"workload      : {spec.workload} x{spec.instances}")
+        print(f"makespan      : {outcome.makespan:,} cycles")
+        print(f"completions   : {[f'{c:,}' for c in outcome.completions]}")
+        print(f"context sw    : {outcome.kernel_stats.context_switches}")
+        print(f"faults        : {outcome.kernel_stats.fault_actions}")
+        for key, value in outcome.cis.items():
+            print(f"cis.{key:<18}: {value:,}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,185 @@
+"""Running one experiment point: N instances of a workload to completion.
+
+An :class:`ExperimentSpec` captures everything that identifies a point in
+the paper's figures — workload, concurrency, quantum, replacement policy,
+software-dispatch preference — plus reproduction knobs (scale, seed,
+baseline architecture).  :func:`run_experiment` builds the machine, runs
+all instances to completion, verifies their outputs against the Python
+reference models, and returns the makespan with full statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from ..apps.registry import get_workload
+from ..apps.workloads import WorkloadVariant
+from ..baselines.memmap import memmap_config
+from ..baselines.prisc import PriscPorsche
+from ..config import MachineConfig
+from ..cpu.program import Program
+from ..errors import ExperimentError
+from ..kernel.porsche import KernelStats, Porsche
+from ..kernel.process import ProcessState
+from ..kernel.replacement import make_policy
+from .scaling import DEFAULT_SCALE, scaled_config
+
+#: Supported architecture baselines.
+ARCHITECTURES = ("proteus", "prisc", "memmap")
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One point of an evaluation figure."""
+
+    workload: str
+    instances: int
+    quantum_ms: float = 10.0
+    policy: str = "round_robin"
+    #: When True the CIS defers to software alternatives instead of
+    #: swapping circuits while the array is full (Figure 3's "Soft").
+    soft: bool = False
+    #: Architecture under test: the Proteus design or a baseline.
+    architecture: str = "proteus"
+    variant: WorkloadVariant = WorkloadVariant.ACCELERATED
+    register_soft: bool = True
+    scale: float = DEFAULT_SCALE
+    #: Explicit per-instance item count; defaults to the workload's
+    #: paper-scale count shrunk by ``scale``.
+    items: int | None = None
+    seed: int = 0
+    pfu_count: int = 4
+    tlb_entries: int = 16
+    promote_on_free: bool = False
+    allow_sharing: bool = False
+
+    def __post_init__(self) -> None:
+        if self.instances < 1:
+            raise ExperimentError("instances must be >= 1")
+        if self.architecture not in ARCHITECTURES:
+            raise ExperimentError(
+                f"unknown architecture {self.architecture!r}; "
+                f"choose from {ARCHITECTURES}"
+            )
+
+    def resolve_items(self) -> int:
+        if self.items is not None:
+            return self.items
+        return get_workload(self.workload).items_for_scale(self.scale)
+
+    def build_config(self) -> MachineConfig:
+        config = scaled_config(
+            self.scale,
+            quantum_ms=self.quantum_ms,
+            pfu_count=self.pfu_count,
+            tlb_entries=self.tlb_entries,
+            prefer_software_when_full=self.soft,
+            promote_on_free=self.promote_on_free,
+            allow_sharing=self.allow_sharing,
+            seed=self.seed or MachineConfig.seed,  # keep a nonzero default
+        )
+        if self.architecture == "memmap":
+            config = memmap_config(config)
+        return config
+
+
+@dataclass
+class RunOutcome:
+    """Everything measured from one experiment run."""
+
+    spec: ExperimentSpec
+    #: Cycles until the *last* instance completed (the figures' y-axis).
+    makespan: int
+    #: Per-process completion cycles, in pid order.
+    completions: list[int]
+    verified: bool
+    kernel_stats: KernelStats
+    #: CIS counters snapshot (loads, evictions, soft deferrals, ...).
+    cis: dict[str, int] = field(default_factory=dict)
+    #: Per-process (cpu_cycles, kernel_cycles).
+    process_cycles: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def mean_completion(self) -> float:
+        return sum(self.completions) / len(self.completions)
+
+
+@lru_cache(maxsize=64)
+def _cached_program(
+    workload_name: str,
+    items: int,
+    variant: WorkloadVariant,
+    register_soft: bool,
+    seed: int,
+) -> Program:
+    """Program images are immutable; share them across runs and instances."""
+    workload = get_workload(workload_name)
+    return workload.build(
+        items=items, seed=seed, variant=variant, register_soft=register_soft
+    )
+
+
+def build_kernel(spec: ExperimentSpec) -> Porsche:
+    """Construct the kernel (or baseline kernel) for a spec."""
+    config = spec.build_config()
+    policy = make_policy(spec.policy, seed=spec.seed + 0x5EED)
+    if spec.architecture == "prisc":
+        return PriscPorsche(config, policy)
+    return Porsche(config, policy)
+
+
+def run_experiment(spec: ExperimentSpec, verify: bool = True) -> RunOutcome:
+    """Run one experiment point to completion."""
+    kernel = build_kernel(spec)
+    items = spec.resolve_items()
+    workload = get_workload(spec.workload)
+    program = _cached_program(
+        spec.workload, items, spec.variant, spec.register_soft, spec.seed
+    )
+    processes = [kernel.spawn(program) for _ in range(spec.instances)]
+    kernel.run()
+
+    completions = []
+    for process in processes:
+        if process.state is not ProcessState.EXITED:
+            raise ExperimentError(
+                f"{spec.workload} instance pid={process.pid} ended "
+                f"{process.state.value}: {process.kill_reason}"
+            )
+        assert process.completion_cycle is not None
+        completions.append(process.completion_cycle)
+
+    verified = True
+    if verify:
+        expected = workload.expected(items, seed=spec.seed)
+        for process in processes:
+            if process.read_result(workload.result_name) != expected:
+                verified = False
+                raise ExperimentError(
+                    f"{spec.workload} pid={process.pid} produced wrong output"
+                )
+
+    cis_stats = kernel.cis.stats
+    return RunOutcome(
+        spec=spec,
+        makespan=max(completions),
+        completions=completions,
+        verified=verified,
+        kernel_stats=kernel.stats,
+        cis={
+            "loads": cis_stats.loads,
+            "evictions": cis_stats.evictions,
+            "mapping_faults": cis_stats.mapping_faults,
+            "soft_deferrals": cis_stats.soft_deferrals,
+            "soft_remaps": cis_stats.soft_remaps,
+            "state_swaps": cis_stats.state_swaps,
+            "promotions": cis_stats.promotions,
+            "static_bytes_moved": cis_stats.static_bytes_moved,
+            "state_bytes_moved": cis_stats.state_bytes_moved,
+            "kernel_cycles": cis_stats.kernel_cycles,
+        },
+        process_cycles=[
+            (p.stats.cpu_cycles, p.stats.kernel_cycles) for p in processes
+        ],
+    )

@@ -1,0 +1,197 @@
+"""Regeneration of the paper's figures and headline comparisons.
+
+Each function sweeps the same axes as the corresponding figure in §5.1
+and returns a :class:`~repro.sim.series.FigureData`.  Absolute cycle
+counts differ from the paper (scaled platform, synthetic data); the
+*shapes* — where contention knees fall, which policy wins, how quantum
+size matters — are the reproduction targets recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from typing import Callable
+
+from ..apps.registry import get_workload
+from ..apps.workloads import WorkloadVariant
+from .experiment import ExperimentSpec, run_experiment
+from .scaling import DEFAULT_SCALE
+from .series import FigureData, Series
+
+#: Paper legend naming.
+_POLICY_LABEL = {"round_robin": "Round Robin", "random": "Random",
+                 "lru": "LRU", "second_chance": "Second Chance"}
+
+
+def _label(workload: str, policy_text: str, quantum_ms: float) -> str:
+    quantum = f"{quantum_ms:g}ms"
+    return f"{workload.capitalize()}, {policy_text}, {quantum}"
+
+
+ProgressFn = Callable[[str, int, int], None]
+
+
+def _sweep(
+    figure: FigureData,
+    specs: list[tuple[str, ExperimentSpec]],
+    verify: bool,
+    progress: ProgressFn | None,
+) -> FigureData:
+    by_label: dict[str, Series] = {}
+    for count, (label, spec) in enumerate(specs, start=1):
+        if progress is not None:
+            progress(label, count, len(specs))
+        outcome = run_experiment(spec, verify=verify)
+        series = by_label.get(label)
+        if series is None:
+            series = Series(label=label)
+            by_label[label] = series
+            figure.series.append(series)
+        series.add(
+            spec.instances,
+            outcome.makespan,
+            loads=outcome.cis["loads"],
+            evictions=outcome.cis["evictions"],
+            mapping_faults=outcome.cis["mapping_faults"],
+            soft_deferrals=outcome.cis["soft_deferrals"],
+            context_switches=outcome.kernel_stats.context_switches,
+        )
+    return figure
+
+
+def figure2(
+    scale: float = DEFAULT_SCALE,
+    instances: Iterable[int] = range(1, 9),
+    workloads: Sequence[str] = ("echo", "alpha", "twofish"),
+    quanta: Sequence[float] = (10.0, 1.0),
+    policies: Sequence[str] = ("round_robin", "random"),
+    seed: int = 0,
+    verify: bool = False,
+    progress: ProgressFn | None = None,
+) -> FigureData:
+    """Figure 2 — the basic scheduling (circuit switching) test.
+
+    Every run swaps circuits under contention (no software dispatch);
+    the axes are exactly the paper's: 1-8 concurrent instances of each
+    workload under two replacement policies and two quanta.
+    """
+    figure = FigureData(
+        name="figure2",
+        title="Basic Scheduling Test",
+        xlabel="No. concurrent process instances",
+        ylabel="Completion time in clock cycles",
+    )
+    specs = []
+    for workload in workloads:
+        for policy in policies:
+            for quantum_ms in quanta:
+                label = _label(workload, _POLICY_LABEL[policy], quantum_ms)
+                for n in instances:
+                    specs.append(
+                        (
+                            label,
+                            ExperimentSpec(
+                                workload=workload,
+                                instances=n,
+                                quantum_ms=quantum_ms,
+                                policy=policy,
+                                soft=False,
+                                scale=scale,
+                                seed=seed,
+                            ),
+                        )
+                    )
+    return _sweep(figure, specs, verify, progress)
+
+
+def figure3(
+    scale: float = DEFAULT_SCALE,
+    instances: Iterable[int] = range(1, 9),
+    workloads: Sequence[str] = ("echo", "alpha"),
+    quanta: Sequence[float] = (10.0, 1.0),
+    seed: int = 0,
+    verify: bool = False,
+    progress: ProgressFn | None = None,
+) -> FigureData:
+    """Figure 3 — the software dispatch test.
+
+    Circuit-switching (round robin) runs against runs where the CIS
+    defers to the registered software alternative when the array is
+    full.  The paper plots echo and alpha (twofish tracks alpha).
+    """
+    figure = FigureData(
+        name="figure3",
+        title="Software Dispatch Test",
+        xlabel="No. concurrent process instances",
+        ylabel="Completion time in clock cycles",
+    )
+    specs = []
+    for workload in workloads:
+        for quantum_ms in quanta:
+            for soft in (False, True):
+                policy_text = "Soft" if soft else "Round Robin"
+                label = _label(workload, policy_text, quantum_ms)
+                for n in instances:
+                    specs.append(
+                        (
+                            label,
+                            ExperimentSpec(
+                                workload=workload,
+                                instances=n,
+                                quantum_ms=quantum_ms,
+                                policy="round_robin",
+                                soft=soft,
+                                scale=scale,
+                                seed=seed,
+                            ),
+                        )
+                    )
+    return _sweep(figure, specs, verify, progress)
+
+
+def speedup_table(
+    scale: float = DEFAULT_SCALE,
+    workloads: Sequence[str] = ("echo", "alpha", "twofish"),
+    seed: int = 0,
+    verify: bool = True,
+) -> FigureData:
+    """§5.1.1's claim: accelerated runs beat unaccelerated by ~10x.
+
+    A "figure" with two one-point series per workload (accelerated and
+    software completion cycles for a single instance).
+    """
+    figure = FigureData(
+        name="speedup",
+        title="Accelerated vs. unaccelerated (single instance)",
+        xlabel="variant (1 = accelerated, 2 = software)",
+        ylabel="Completion time in clock cycles",
+    )
+    for workload_name in workloads:
+        series = Series(label=workload_name)
+        cycles = {}
+        for position, variant in enumerate(
+            (WorkloadVariant.ACCELERATED, WorkloadVariant.SOFTWARE), start=1
+        ):
+            spec = ExperimentSpec(
+                workload=workload_name,
+                instances=1,
+                variant=variant,
+                register_soft=variant is WorkloadVariant.ACCELERATED,
+                scale=scale,
+                seed=seed,
+            )
+            outcome = run_experiment(spec, verify=verify)
+            cycles[variant] = outcome.makespan
+            series.add(position, outcome.makespan, variant=variant.value)
+        factor = cycles[WorkloadVariant.SOFTWARE] / cycles[
+            WorkloadVariant.ACCELERATED
+        ]
+        series.points[-1].detail["speedup"] = round(factor, 2)
+        figure.series.append(series)
+    return figure
+
+
+def contention_knees(figure: FigureData) -> dict[str, int | None]:
+    """Extract the contention knee per series (paper: 2 for echo, 4 for
+    the single-circuit workloads)."""
+    return {series.label: series.knee() for series in figure.series}

@@ -1,0 +1,97 @@
+"""Plain-text rendering of figures: tables and ASCII plots.
+
+The paper's figures are line plots of completion time against instance
+count; with at most eight x values a table carries the same information,
+and a rough ASCII plot shows the shapes (knees, orderings) at a glance.
+"""
+
+from __future__ import annotations
+
+from .series import FigureData
+
+#: Symbols assigned to series in an ASCII plot.
+_SYMBOLS = "ox+*#%@&$~^="
+
+
+def render_table(figure: FigureData) -> str:
+    """One row per x value, one column per series."""
+    xs = sorted({point.x for series in figure.series for point in series.points})
+    labels = figure.labels()
+    width = max((len(label) for label in labels), default=8)
+    width = max(width, 12)
+    header = ["x".rjust(4)] + [label.rjust(width) for label in labels]
+    lines = [figure.title, "=" * len(figure.title), "  ".join(header)]
+    for x in xs:
+        row = [str(x).rjust(4)]
+        for series in figure.series:
+            value = ""
+            for point in series.points:
+                if point.x == x:
+                    value = f"{point.y:,}"
+                    break
+            row.append(value.rjust(width))
+        lines.append("  ".join(row))
+    return "\n".join(lines)
+
+
+def render_figure(figure: FigureData, width: int = 72, height: int = 20) -> str:
+    """A rough ASCII line plot of every series."""
+    points = [
+        (point.x, point.y, index)
+        for index, series in enumerate(figure.series)
+        for point in series.points
+    ]
+    if not points:
+        return f"{figure.title}\n(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = 0, max(ys)
+    x_span = max(1, x_max - x_min)
+    y_span = max(1, y_max - y_min)
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, series_index in points:
+        col = round((x - x_min) / x_span * (width - 1))
+        row = height - 1 - round((y - y_min) / y_span * (height - 1))
+        symbol = _SYMBOLS[series_index % len(_SYMBOLS)]
+        grid[row][col] = symbol
+
+    lines = [figure.title, "=" * len(figure.title)]
+    for index, row in enumerate(grid):
+        if index == 0:
+            prefix = f"{y_max:>12,} |"
+        elif index == height - 1:
+            prefix = f"{y_min:>12,} |"
+        else:
+            prefix = " " * 12 + " |"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 13 + "-" * width)
+    lines.append(
+        " " * 13 + f"{x_min}" + " " * (width - len(str(x_min)) - len(str(x_max)))
+        + f"{x_max}"
+    )
+    lines.append(figure.xlabel.center(width + 13))
+    lines.append("")
+    for index, series in enumerate(figure.series):
+        symbol = _SYMBOLS[index % len(_SYMBOLS)]
+        lines.append(f"  {symbol}  {series.label}")
+    return "\n".join(lines)
+
+
+def render_speedup(figure: FigureData) -> str:
+    """Render the acceleration-factor table of §5.1.1."""
+    lines = [
+        figure.title,
+        "=" * len(figure.title),
+        f"{'workload':<10} {'accelerated':>14} {'software':>14} {'speedup':>9}",
+    ]
+    for series in figure.series:
+        accelerated = series.y_at(1)
+        software = series.y_at(2)
+        factor = software / accelerated
+        lines.append(
+            f"{series.label:<10} {accelerated:>14,} {software:>14,} "
+            f"{factor:>8.1f}x"
+        )
+    return "\n".join(lines)

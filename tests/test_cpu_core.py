@@ -1,0 +1,358 @@
+"""Reference interpreter semantics, one instruction class at a time."""
+
+import pytest
+
+from conftest import adder_spec
+from repro.config import MachineConfig
+from repro.core.coprocessor import ProteusCoprocessor
+from repro.core.tlb import IDTuple
+from repro.cpu.assembler import assemble
+from repro.cpu.core import CPU, CPUState
+from repro.cpu.exceptions import (
+    CustomInstructionFault,
+    ExitTrap,
+    SyscallTrap,
+)
+from repro.cpu.isa import CODE_BASE, code_address
+from repro.cpu.memory import Memory
+from repro.errors import CPUError, MemoryFault
+
+CONFIG = MachineConfig(cycles_per_ms=1000)
+
+
+def build_cpu(source: str, coprocessor=None, pid=1):
+    program = assemble(source)
+    memory = Memory(size=16 * 1024)
+    memory.write_block(program.data_base, program.data)
+    state = CPUState(memory=memory)
+    state.pc = code_address(program.entry_index)
+    cpu = CPU(
+        config=CONFIG,
+        program=program.instructions,
+        state=state,
+        coprocessor=coprocessor or ProteusCoprocessor(config=CONFIG),
+        pid=pid,
+    )
+    return cpu
+
+
+def run_to_halt(cpu: CPU, max_steps: int = 10_000) -> int:
+    cycles = 0
+    for _ in range(max_steps):
+        try:
+            cycles += cpu.step().cycles
+        except ExitTrap:
+            return cycles
+    raise AssertionError("program did not halt")
+
+
+class TestDataProcessing:
+    def test_arithmetic(self):
+        cpu = build_cpu(
+            """
+            MOV r0, #10
+            ADD r1, r0, #5
+            SUB r2, r1, r0
+            RSB r3, r0, #100
+            MUL r4, r1, r2
+            HALT
+            """
+        )
+        run_to_halt(cpu)
+        regs = cpu.state.regs
+        assert regs[1] == 15 and regs[2] == 5 and regs[3] == 90
+        assert regs[4] == 75
+
+    def test_logic(self):
+        cpu = build_cpu(
+            """
+            MOV r0, #0xFF
+            AND r1, r0, #0x0F
+            ORR r2, r0, #0x100
+            EOR r3, r0, #0xFF
+            BIC r4, r0, #0x0F
+            MVN r5, #0
+            HALT
+            """
+        )
+        run_to_halt(cpu)
+        regs = cpu.state.regs
+        assert regs[1] == 0x0F and regs[2] == 0x1FF and regs[3] == 0
+        assert regs[4] == 0xF0 and regs[5] == 0xFFFFFFFF
+
+    def test_shifts(self):
+        cpu = build_cpu(
+            """
+            MOV r0, #1
+            LSL r1, r0, #31
+            LSR r2, r1, #31
+            ASR r3, r1, #31
+            MOV r4, #0x80
+            ROR r5, r4, #8
+            HALT
+            """
+        )
+        run_to_halt(cpu)
+        regs = cpu.state.regs
+        assert regs[1] == 0x80000000
+        assert regs[2] == 1
+        assert regs[3] == 0xFFFFFFFF
+        assert regs[5] == 0x80000000
+
+    def test_shift_by_register(self):
+        cpu = build_cpu(
+            """
+            MOV r0, #4
+            MOV r1, #3
+            LSL r2, r0, r1
+            HALT
+            """
+        )
+        run_to_halt(cpu)
+        assert cpu.state.regs[2] == 32
+
+    def test_wraparound(self):
+        cpu = build_cpu(
+            """
+            MVN r0, #0
+            ADD r1, r0, #1
+            HALT
+            """
+        )
+        run_to_halt(cpu)
+        assert cpu.state.regs[1] == 0
+
+    def test_pc_write_rejected(self):
+        cpu = build_cpu("MOV pc, #0\nHALT")
+        with pytest.raises(CPUError):
+            cpu.step()
+
+
+class TestBranches:
+    def test_loop_counts(self):
+        cpu = build_cpu(
+            """
+            MOV r0, #0
+            MOV r1, #5
+            loop:
+                ADD r0, r0, #1
+                SUB r1, r1, #1
+                CMP r1, #0
+                BNE loop
+            HALT
+            """
+        )
+        run_to_halt(cpu)
+        assert cpu.state.regs[0] == 5
+
+    def test_untaken_branch_costs_less(self):
+        cpu = build_cpu("CMP r0, #1\nBEQ skip\nskip: HALT")
+        cpu.step()
+        result = cpu.step()
+        assert result.cycles == CONFIG.alu_cycles  # not taken
+
+    def test_taken_branch_cost(self):
+        cpu = build_cpu("B skip\nNOP\nskip: HALT")
+        assert cpu.step().cycles == CONFIG.branch_cycles
+
+    def test_bl_links(self):
+        cpu = build_cpu(
+            """
+            main:
+                BL func
+                HALT
+            func:
+                MOV r0, #7
+                BX lr
+            """
+        )
+        run_to_halt(cpu)
+        assert cpu.state.regs[0] == 7
+
+    def test_bx_to_non_code_rejected(self):
+        cpu = build_cpu("MOV r0, #0\nBX r0\nHALT")
+        cpu.step()
+        with pytest.raises((CPUError, ValueError)):
+            cpu.step()
+
+
+class TestMemoryOps:
+    def test_word_ops_with_offset(self):
+        cpu = build_cpu(
+            """
+            .data
+            buf: .word 111, 222
+            .text
+            MOV r0, #buf
+            LDR r1, [r0]
+            LDR r2, [r0, #4]
+            STR r2, [r0]
+            HALT
+            """
+        )
+        run_to_halt(cpu)
+        assert cpu.state.regs[1] == 111
+        assert cpu.state.regs[2] == 222
+        assert cpu.state.memory.load_word(0x1000) == 222
+
+    def test_post_increment(self):
+        cpu = build_cpu(
+            """
+            .data
+            buf: .word 1, 2, 3
+            .text
+            MOV r0, #buf
+            LDR r1, [r0], #4
+            LDR r2, [r0], #4
+            HALT
+            """
+        )
+        run_to_halt(cpu)
+        assert (cpu.state.regs[1], cpu.state.regs[2]) == (1, 2)
+        assert cpu.state.regs[0] == 0x1000 + 8
+
+    def test_byte_ops(self):
+        cpu = build_cpu(
+            """
+            .data
+            buf: .byte 0xAA, 0xBB
+            .text
+            MOV r0, #buf
+            LDRB r1, [r0, #1]
+            STRB r1, [r0]
+            HALT
+            """
+        )
+        run_to_halt(cpu)
+        assert cpu.state.regs[1] == 0xBB
+        assert cpu.state.memory.load_byte(0x1000) == 0xBB
+
+    def test_fault_propagates(self):
+        cpu = build_cpu("MOV r0, #0\nLDR r1, [r0]\nHALT")
+        cpu.step()
+        with pytest.raises(MemoryFault):
+            cpu.step()
+
+
+class TestTraps:
+    def test_swi_advances_pc_first(self):
+        cpu = build_cpu("SWI #3\nHALT")
+        with pytest.raises(SyscallTrap) as excinfo:
+            cpu.step()
+        assert excinfo.value.number == 3
+        assert cpu.state.pc == CODE_BASE + 4  # resume after the SWI
+
+    def test_halt_raises_exit_with_status(self):
+        cpu = build_cpu("MOV r0, #42\nHALT")
+        cpu.step()
+        with pytest.raises(ExitTrap) as excinfo:
+            cpu.step()
+        assert excinfo.value.status == 42
+        assert cpu.state.halted
+
+    def test_pc_out_of_program(self):
+        cpu = build_cpu("NOP")
+        cpu.step()
+        with pytest.raises(CPUError):
+            cpu.step()
+
+
+class TestCoprocessorOps:
+    def test_mcr_mrc(self):
+        cpu = build_cpu(
+            """
+            MOV r0, #77
+            MCR f3, r0
+            MRC r1, f3
+            HALT
+            """
+        )
+        run_to_halt(cpu)
+        assert cpu.state.regs[1] == 77
+
+    def cdp_cpu(self):
+        coprocessor = ProteusCoprocessor(config=CONFIG)
+        instance = adder_spec(latency=4).instantiate(1, CONFIG)
+        coprocessor.load_circuit(0, instance)
+        coprocessor.dispatch.map_hardware(IDTuple(1, 1), 0)
+        cpu = build_cpu(
+            """
+            MOV r0, #30
+            MOV r1, #12
+            MCR f0, r0
+            MCR f1, r1
+            CDP #1, f2, f0, f1
+            MRC r2, f2
+            HALT
+            """,
+            coprocessor=coprocessor,
+        )
+        return cpu
+
+    def test_cdp_hardware(self):
+        cpu = self.cdp_cpu()
+        run_to_halt(cpu)
+        assert cpu.state.regs[2] == 42
+
+    def test_cdp_interrupted_then_resumed(self):
+        """§4.4: PC stays on the CDP; re-stepping continues."""
+        cpu = self.cdp_cpu()
+        for _ in range(4):
+            cpu.step()
+        result = cpu.step(budget=2)  # latency 4, budget 2: interrupted
+        assert not result.retired
+        pc_before = cpu.state.pc
+        result = cpu.step(budget=1000)
+        assert result.retired
+        assert cpu.state.pc == pc_before + 4
+        run_to_halt(cpu)
+        assert cpu.state.regs[2] == 42
+
+    def test_cdp_fault_leaves_pc(self):
+        cpu = build_cpu("CDP #9, f0, f0, f0\nHALT")
+        with pytest.raises(CustomInstructionFault) as excinfo:
+            cpu.step()
+        assert excinfo.value.cid == 9
+        assert cpu.state.pc == CODE_BASE  # still on the CDP
+
+    def test_cdp_software_dispatch(self):
+        source = """
+        main:
+            MOV r0, #5
+            MOV r1, #6
+            MCR f0, r0
+            MCR f1, r1
+            CDP #1, f2, f0, f1
+            MRC r2, f2
+            HALT
+        soft:
+            LDO r0, #0
+            LDO r1, #1
+            MUL r0, r0, r1
+            STO r0
+            BX lr
+        """
+        coprocessor = ProteusCoprocessor(config=CONFIG)
+        coprocessor.dispatch.map_software(
+            IDTuple(1, 1), assemble(source).label_address("soft")
+        )
+        cpu = build_cpu(source, coprocessor=coprocessor)
+        run_to_halt(cpu)
+        assert cpu.state.regs[2] == 30
+
+    def test_soft_dispatch_sets_link_register(self):
+        source = """
+        main:
+            CDP #1, f2, f0, f1
+            HALT
+        soft:
+            BX lr
+        """
+        coprocessor = ProteusCoprocessor(config=CONFIG)
+        coprocessor.dispatch.map_software(
+            IDTuple(1, 1), assemble(source).label_address("soft")
+        )
+        cpu = build_cpu(source, coprocessor=coprocessor)
+        cpu.step()  # special branch
+        assert cpu.state.regs[14] == CODE_BASE + 4
+        assert cpu.state.pc == assemble(source).label_address("soft")

@@ -1,0 +1,116 @@
+"""32-bit binary encoding round-trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.assembler import assemble
+from repro.cpu.encoding import decode, decode_program, encode, encode_program
+from repro.cpu.isa import BRANCH_OPS, Cond, Instruction, Op
+from repro.errors import EncodingError
+
+REG = st.integers(min_value=0, max_value=15)
+
+
+@st.composite
+def encodable_instructions(draw):
+    """Generate instructions within the format's representable ranges."""
+    op = draw(st.sampled_from(list(Op)))
+    cond = draw(st.sampled_from(list(Cond)))
+    if op in BRANCH_OPS:
+        return Instruction(
+            op=op, cond=cond, uses_imm=True,
+            imm=draw(st.integers(min_value=-(1 << 22), max_value=(1 << 22) - 1)),
+        )
+    if op is Op.CDP:
+        return Instruction(
+            op=op, cond=cond, uses_imm=True,
+            rd=draw(REG), rn=draw(REG), rm=draw(REG),
+            imm=draw(st.integers(min_value=0, max_value=1023)),
+        )
+    if op in (Op.LDR, Op.STR, Op.LDRB, Op.STRB):
+        return Instruction(
+            op=op, cond=cond, rd=draw(REG), rn=draw(REG),
+            imm=draw(st.integers(min_value=-(1 << 12), max_value=(1 << 12) - 1)),
+            post_inc=draw(st.booleans()),
+        )
+    uses_imm = draw(st.booleans())
+    if op in (Op.MOV, Op.MVN) and uses_imm:
+        imm = draw(st.integers(min_value=-(1 << 17), max_value=(1 << 17) - 1))
+        return Instruction(op=op, cond=cond, rd=draw(REG), imm=imm, uses_imm=True)
+    if uses_imm:
+        return Instruction(
+            op=op, cond=cond, rd=draw(REG), rn=draw(REG),
+            imm=draw(st.integers(min_value=-(1 << 12), max_value=(1 << 12) - 1)),
+            uses_imm=True,
+        )
+    return Instruction(op=op, cond=cond, rd=draw(REG), rn=draw(REG), rm=draw(REG))
+
+
+class TestRoundTrip:
+    @given(instruction=encodable_instructions())
+    @settings(max_examples=300)
+    def test_encode_decode_identity(self, instruction):
+        word = encode(instruction)
+        assert 0 <= word <= 0xFFFFFFFF
+        assert decode(word) == instruction
+
+    def test_assembled_program_roundtrips(self):
+        program = assemble(
+            """
+            main:
+                MOV r0, #100
+                MOV r1, #-100
+                ADD r2, r0, r1
+                CMP r2, #0
+                BNE main
+                LDR r3, [r0], #4
+                STR r3, [r1, #-8]
+                CDP #9, f1, f2, f3
+                SWI #1
+                BX lr
+            """
+        )
+        image = encode_program(program.instructions)
+        assert decode_program(image) == program.instructions
+
+    def test_program_image_size(self):
+        program = assemble("NOP\nNOP\nNOP")
+        assert len(encode_program(program.instructions)) == 12
+
+
+class TestRangeChecks:
+    def test_large_mov_immediate_fits_18_bits(self):
+        encode(Instruction(op=Op.MOV, rd=0, imm=100_000, uses_imm=True))
+
+    def test_oversized_mov_immediate_rejected(self):
+        with pytest.raises(EncodingError, match="literal pool"):
+            encode(Instruction(op=Op.MOV, rd=0, imm=1 << 20, uses_imm=True))
+
+    def test_oversized_alu_immediate_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(op=Op.ADD, rd=0, rn=0, imm=5000, uses_imm=True))
+
+    def test_oversized_cid_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(
+                Instruction(op=Op.CDP, rd=0, rn=0, rm=0, imm=1024, uses_imm=True)
+            )
+
+    def test_oversized_branch_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(op=Op.B, imm=1 << 23, uses_imm=True))
+
+    def test_bad_register_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(op=Op.ADD, rd=16, rn=0, rm=0))
+
+
+class TestDecodeErrors:
+    def test_oversized_word(self):
+        with pytest.raises(EncodingError):
+            decode(1 << 32)
+
+    def test_misaligned_image(self):
+        with pytest.raises(EncodingError):
+            decode_program(b"\x00\x00\x00")

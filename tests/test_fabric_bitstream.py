@@ -1,0 +1,146 @@
+"""Bitstream format: the static/state split of §4.1."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import BitstreamError
+from repro.fabric.bitstream import (
+    Bitstream,
+    build_bitstream,
+    parse_bitstream,
+)
+
+
+def sample(state_words: int = 4) -> Bitstream:
+    return build_bitstream(
+        name="sample",
+        clb_count=100,
+        state_words=state_words,
+        static_bytes=1024,
+        state_bytes=max(64, state_words * 4),
+        seed=1,
+    )
+
+
+class TestConstruction:
+    def test_sizes(self):
+        bs = sample()
+        assert bs.static_bytes == 1024
+        assert bs.state_bytes == 64
+        assert bs.total_bytes == 1088
+
+    def test_stateful_flag(self):
+        assert sample(4).is_stateful
+        assert not sample(0).is_stateful
+
+    def test_deterministic_static_section(self):
+        assert sample().static_section == sample().static_section
+
+    def test_different_names_differ(self):
+        other = build_bitstream("other", 100, 0, 1024, 64)
+        assert other.static_section != sample().static_section
+
+    def test_rejects_zero_clbs(self):
+        with pytest.raises(BitstreamError):
+            build_bitstream("x", 0, 0, 16, 16)
+
+    def test_rejects_empty_static(self):
+        with pytest.raises(BitstreamError):
+            build_bitstream("x", 1, 0, 0, 16)
+
+    def test_rejects_undersized_state_section(self):
+        with pytest.raises(BitstreamError):
+            build_bitstream("x", 1, 8, 16, 16)
+
+
+class TestStateMovement:
+    def test_snapshot_restore_roundtrip(self):
+        bs = sample(4)
+        words = [1, 2, 0xFFFFFFFF, 0]
+        snapshot = bs.snapshot_state(words)
+        assert bs.restore_state(snapshot) == words
+
+    def test_snapshot_size_is_declared_state_size(self):
+        """State transfers move whole frames, so the cost is constant."""
+        bs = sample(4)
+        assert len(bs.snapshot_state([0, 0, 0, 0])) == bs.state_bytes
+        assert len(bs.snapshot_state([9, 9, 9, 9])) == bs.state_bytes
+
+    def test_snapshot_wrong_word_count(self):
+        with pytest.raises(BitstreamError):
+            sample(4).snapshot_state([1, 2])
+
+    def test_restore_rejects_foreign_snapshot(self):
+        other = build_bitstream("other", 100, 4, 1024, 64)
+        snapshot = other.snapshot_state([1, 2, 3, 4])
+        with pytest.raises(BitstreamError):
+            sample(4).restore_state(snapshot)
+
+    def test_state_is_far_smaller_than_static(self):
+        """The point of the split: context switches move the small part."""
+        bs = sample(4)
+        assert bs.state_bytes * 10 < bs.static_bytes
+
+    @given(
+        words=st.lists(
+            st.integers(min_value=0, max_value=0xFFFFFFFF),
+            min_size=0,
+            max_size=16,
+        )
+    )
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, words):
+        bs = build_bitstream(
+            "prop", 10, len(words), 256, max(32, len(words) * 4)
+        )
+        assert bs.restore_state(bs.snapshot_state(words)) == words
+
+
+class TestSerialisation:
+    def test_roundtrip(self):
+        bs = sample()
+        parsed = parse_bitstream(bs.serialise())
+        assert parsed == bs
+
+    def test_roundtrip_preserves_flags(self):
+        bs = build_bitstream(
+            "flagged", 10, 0, 64, 0, uses_iobs=True, mux_routing=False
+        )
+        parsed = parse_bitstream(bs.serialise())
+        assert parsed.uses_iobs
+        assert not parsed.mux_routing
+
+    def test_truncated_rejected(self):
+        blob = sample().serialise()
+        with pytest.raises(BitstreamError):
+            parse_bitstream(blob[:-10])
+
+    def test_bad_magic_rejected(self):
+        blob = bytearray(sample().serialise())
+        blob[0] ^= 0xFF
+        with pytest.raises(BitstreamError):
+            parse_bitstream(bytes(blob))
+
+    def test_corrupted_static_section_rejected(self):
+        blob = bytearray(sample().serialise())
+        blob[60] ^= 0x01  # somewhere inside the static payload
+        with pytest.raises(BitstreamError):
+            parse_bitstream(bytes(blob))
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(BitstreamError):
+            parse_bitstream(sample().serialise() + b"\x00")
+
+    @given(
+        static_bytes=st.integers(min_value=1, max_value=512),
+        state_words=st.integers(min_value=0, max_value=8),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=40)
+    def test_roundtrip_property(self, static_bytes, state_words, seed):
+        bs = build_bitstream(
+            "prop", 10, state_words, static_bytes,
+            max(8, state_words * 4), seed=seed,
+        )
+        assert parse_bitstream(bs.serialise()) == bs

@@ -1,0 +1,110 @@
+"""CLB and LUT models."""
+
+import pytest
+
+from repro.errors import FabricError
+from repro.fabric.clb import CLB, CLBColumn, LUT, LUTS_PER_CLB
+
+
+class TestLUT:
+    def test_constant_zero(self):
+        lut = LUT(truth_table=0)
+        assert all(lut.evaluate(i) == 0 for i in range(16))
+
+    def test_constant_one(self):
+        lut = LUT(truth_table=0xFFFF)
+        assert all(lut.evaluate(i) == 1 for i in range(16))
+
+    def test_and_gate(self):
+        # Output 1 only when all four inputs are 1 (pattern 0b1111).
+        lut = LUT(truth_table=1 << 15)
+        assert lut.evaluate(0b1111) == 1
+        assert lut.evaluate(0b0111) == 0
+
+    def test_xor_gate(self):
+        table = 0
+        for pattern in range(16):
+            parity = bin(pattern).count("1") & 1
+            table |= parity << pattern
+        lut = LUT(truth_table=table)
+        assert lut.evaluate(0b0001) == 1
+        assert lut.evaluate(0b0011) == 0
+        assert lut.evaluate(0b0111) == 1
+
+    def test_rejects_oversized_table(self):
+        with pytest.raises(FabricError):
+            LUT(truth_table=1 << 16)
+
+    def test_rejects_out_of_range_input(self):
+        with pytest.raises(FabricError):
+            LUT().evaluate(16)
+
+    def test_config_bits(self):
+        assert LUT().config_bits() == 16
+
+
+class TestCLB:
+    def test_combinatorial_outputs(self):
+        clb = CLB(luts=[LUT(truth_table=0xFFFF)] + [LUT()] * 3)
+        outputs = clb.clock([0, 0, 0, 0])
+        assert outputs == [1, 0, 0, 0]
+
+    def test_registered_output_latches(self):
+        clb = CLB(
+            luts=[LUT(truth_table=0xFFFF)] + [LUT()] * 3,
+            registered=[True, False, False, False],
+        )
+        clb.clock([0, 0, 0, 0])
+        assert clb.state[0] == 1
+
+    def test_state_bits_counts_registered_luts(self):
+        clb = CLB(registered=[True, True, False, False])
+        assert clb.state_bits() == 2
+
+    def test_capture_restore_roundtrip(self):
+        clb = CLB(registered=[True, False, True, False])
+        clb.state = [1, 0, 1, 0]
+        captured = clb.capture_state()
+        assert captured == [1, 1]
+        clb.state = [0, 0, 0, 0]
+        clb.restore_state(captured)
+        assert clb.state == [1, 0, 1, 0]
+
+    def test_restore_wrong_length_rejected(self):
+        clb = CLB(registered=[True, False, False, False])
+        with pytest.raises(FabricError):
+            clb.restore_state([1, 0])
+
+    def test_restore_rejects_non_bits(self):
+        clb = CLB(registered=[True, False, False, False])
+        with pytest.raises(FabricError):
+            clb.restore_state([2])
+
+    def test_wrong_lut_count_rejected(self):
+        with pytest.raises(FabricError):
+            CLB(luts=[LUT()])
+
+    def test_wrong_input_count_rejected(self):
+        with pytest.raises(FabricError):
+            CLB().clock([0, 0])
+
+    def test_bad_initial_state_rejected(self):
+        with pytest.raises(FabricError):
+            CLB(state=[0, 0, 0, 9])
+
+
+class TestCLBColumn:
+    def test_blank_column(self):
+        column = CLBColumn.blank(8)
+        assert len(column) == 8
+        assert column.state_bits() == 0
+
+    def test_column_state_bits_sum(self):
+        column = CLBColumn.blank(4)
+        column.clbs[0].registered = [True] * LUTS_PER_CLB
+        column.clbs[1].registered = [True, False, False, False]
+        assert column.state_bits() == LUTS_PER_CLB + 1
+
+    def test_blank_rejects_nonpositive_height(self):
+        with pytest.raises(FabricError):
+            CLBColumn.blank(0)

@@ -1,0 +1,105 @@
+"""Mux-based routing: the structurally-safe fabric of §4.1."""
+
+import pytest
+
+from repro.fabric.routing import Mux, MuxRouting, RouteError, RoutingGraph
+
+
+def small_graph() -> RoutingGraph:
+    graph = RoutingGraph()
+    graph.add_primary_input("in0")
+    graph.add_primary_input("in1")
+    graph.add_mux("a", ["in0", "in1"])
+    graph.add_mux("b", ["a", "in1"])
+    return graph
+
+
+class TestGraph:
+    def test_duplicate_mux_rejected(self):
+        graph = small_graph()
+        with pytest.raises(RouteError):
+            graph.add_mux("a", ["in0"])
+
+    def test_primary_input_cannot_be_sink(self):
+        graph = small_graph()
+        with pytest.raises(RouteError):
+            graph.add_mux("in0", ["a"])
+
+    def test_sink_cannot_become_primary_input(self):
+        graph = small_graph()
+        with pytest.raises(RouteError):
+            graph.add_primary_input("a")
+
+    def test_mux_requires_sources(self):
+        with pytest.raises(RouteError):
+            Mux(sink="x", sources=())
+
+    def test_mux_rejects_duplicate_sources(self):
+        with pytest.raises(RouteError):
+            Mux(sink="x", sources=("a", "a"))
+
+    def test_unknown_sink(self):
+        graph = small_graph()
+        with pytest.raises(RouteError):
+            graph.mux_for("zzz")
+
+    def test_grid_shape(self):
+        graph = RoutingGraph.grid(columns=3, rows=2)
+        assert len(graph.primary_inputs) == 3
+        assert len(graph.muxes) == 6
+
+
+class TestRoutingConfiguration:
+    def test_default_selection_is_first_source(self):
+        routing = small_graph().configure()
+        assert routing.source_of("a") == "in0"
+
+    def test_select_changes_driver(self):
+        routing = small_graph().configure()
+        routing.select("a", "in1")
+        assert routing.source_of("a") == "in1"
+
+    def test_single_driver_invariant(self):
+        """A sink has exactly one driver — short circuits are
+        unrepresentable (the §4.1 security argument)."""
+        routing = small_graph().configure()
+        routing.select("a", "in0")
+        routing.select("a", "in1")  # replaces, never adds
+        assert routing.source_of("a") == "in1"
+
+    def test_select_rejects_non_input(self):
+        routing = small_graph().configure()
+        with pytest.raises(RouteError):
+            routing.select("a", "b")
+
+    def test_trace_to_primary_input(self):
+        routing = small_graph().configure()
+        routing.select("b", "a")
+        routing.select("a", "in1")
+        assert routing.trace("b") == ["b", "a", "in1"]
+
+    def test_trace_detects_loop(self):
+        graph = RoutingGraph()
+        graph.add_primary_input("in0")
+        graph.add_mux("x", ["y", "in0"])
+        graph.add_mux("y", ["x", "in0"])
+        routing = graph.configure()
+        routing.select("x", "y")
+        routing.select("y", "x")
+        with pytest.raises(RouteError):
+            routing.trace("x")
+
+    def test_config_bits_counted(self):
+        routing = small_graph().configure()
+        routing.select("a", "in1")
+        routing.select("b", "a")
+        # Both muxes have two sources: one bit each.
+        assert routing.config_bits() == 2
+
+    def test_grid_routes_column(self):
+        graph = RoutingGraph.grid(columns=2, rows=3)
+        routing = graph.configure()
+        routing.select("c1_2", "c1_1")
+        routing.select("c1_1", "c1_0")
+        routing.select("c1_0", "in1")
+        assert routing.trace("c1_2") == ["c1_2", "c1_1", "c1_0", "in1"]

@@ -1,0 +1,63 @@
+"""Bitstream security validation (paper §2, §4.1)."""
+
+from repro.fabric.bitstream import build_bitstream
+from repro.fabric.validate import SecurityPolicy, validate_bitstream
+
+POLICY = SecurityPolicy(max_clbs=500, max_state_words=16)
+
+
+def bs(**kwargs):
+    defaults = dict(
+        name="c", clb_count=100, state_words=4,
+        static_bytes=1024, state_bytes=32,
+    )
+    defaults.update(kwargs)
+    return build_bitstream(**defaults)
+
+
+class TestValidation:
+    def test_clean_bitstream_passes(self):
+        report = validate_bitstream(bs(), POLICY)
+        assert report.ok
+        assert report.violations == []
+
+    def test_iob_usage_rejected(self):
+        """No IOBs on the Proteus fabric — the FPGA-virus vector."""
+        report = validate_bitstream(bs(uses_iobs=True), POLICY)
+        assert not report.ok
+        assert any("IOB" in v for v in report.violations)
+
+    def test_iob_allowed_when_policy_permits(self):
+        policy = SecurityPolicy(max_clbs=500, allow_iobs=True)
+        assert validate_bitstream(bs(uses_iobs=True), policy).ok
+
+    def test_non_mux_routing_rejected(self):
+        report = validate_bitstream(bs(mux_routing=False), POLICY)
+        assert not report.ok
+        assert any("mux" in v for v in report.violations)
+
+    def test_clb_budget_enforced(self):
+        report = validate_bitstream(bs(clb_count=501), POLICY)
+        assert not report.ok
+        assert any("CLB" in v for v in report.violations)
+
+    def test_state_word_budget_enforced(self):
+        report = validate_bitstream(
+            bs(state_words=17, state_bytes=96), POLICY
+        )
+        assert not report.ok
+
+    def test_oversized_static_rejected(self):
+        policy = SecurityPolicy(max_clbs=500, max_static_bytes=512)
+        report = validate_bitstream(bs(static_bytes=1024), policy)
+        assert not report.ok
+
+    def test_multiple_violations_accumulate(self):
+        report = validate_bitstream(
+            bs(uses_iobs=True, mux_routing=False, clb_count=501), POLICY
+        )
+        assert len(report.violations) == 3
+
+    def test_report_names_bitstream(self):
+        report = validate_bitstream(bs(name="suspect"), POLICY)
+        assert report.bitstream_name == "suspect"

@@ -1,0 +1,126 @@
+"""Fairness and conservation properties of the whole system.
+
+§2 requires the OS to share the FPL "dynamically, fairly, and securely,
+ensuring all applications make timely progress".  These are system-level
+properties, checked over whole runs with hypothesis-chosen parameters.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.registry import get_workload
+from repro.config import MachineConfig
+from repro.kernel.porsche import Porsche
+from repro.kernel.process import ProcessState
+
+BASE = MachineConfig(
+    cycles_per_ms=1000,
+    quantum_ms=0.2,
+    config_bus_bytes_per_cycle=512,
+    # Kernel costs scaled along with the clock (as scaled_config does);
+    # otherwise context-switch overhead dwarfs the 200-cycle quanta.
+    context_switch_cycles=10,
+    fault_entry_cycles=5,
+    tlb_update_cycles=2,
+    cis_decision_cycles=5,
+    syscall_cycles=5,
+)
+
+
+class TestFairness:
+    def test_identical_processes_finish_close_together(self):
+        """Round-robin scheduling: equal workloads complete within one
+        another's final quantum, not sequentially."""
+        kernel = Porsche(BASE)
+        workload = get_workload("alpha")
+        processes = [kernel.spawn(workload.build(items=64, seed=1))
+                     for __ in range(4)]
+        kernel.run()
+        completions = sorted(p.completion_cycle for p in processes)
+        spread = completions[-1] - completions[0]
+        assert spread < completions[0] * 0.5
+
+    def test_contended_processes_all_make_progress(self):
+        """Even with 6 circuits fighting over 4 PFUs, nobody starves."""
+        kernel = Porsche(BASE.derive(quantum_ms=0.1))
+        workload = get_workload("alpha")
+        processes = [kernel.spawn(workload.build(items=48, seed=1))
+                     for __ in range(6)]
+        kernel.run(max_cycles=20_000_000)
+        assert all(p.state is ProcessState.EXITED for p in processes)
+
+    @given(
+        counts=st.tuples(
+            st.integers(min_value=1, max_value=3),
+            st.integers(min_value=1, max_value=3),
+        ),
+        quantum_ms=st.sampled_from([0.05, 0.2, 1.0]),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_mixed_sizes_all_complete_and_verify(self, counts, quantum_ms):
+        kernel = Porsche(BASE.derive(quantum_ms=quantum_ms))
+        workload = get_workload("alpha")
+        small = [kernel.spawn(workload.build(items=16, seed=2))
+                 for __ in range(counts[0])]
+        large = [kernel.spawn(workload.build(items=48, seed=3))
+                 for __ in range(counts[1])]
+        kernel.run(max_cycles=100_000_000)
+        expected_small = workload.expected(16, seed=2)
+        expected_large = workload.expected(48, seed=3)
+        for process in small:
+            assert process.read_result("dst") == expected_small
+        for process in large:
+            assert process.read_result("dst") == expected_large
+
+
+class TestConservation:
+    def test_clock_is_monotone_across_quanta(self):
+        kernel = Porsche(BASE)
+        workload = get_workload("alpha")
+        kernel.spawn(workload.build(items=32, seed=0))
+        kernel.spawn(workload.build(items=32, seed=0))
+        last = 0
+        while kernel.run_quantum():
+            assert kernel.clock >= last
+            last = kernel.clock
+
+    def test_completion_cycles_do_not_exceed_final_clock(self):
+        kernel = Porsche(BASE)
+        workload = get_workload("echo")
+        processes = [kernel.spawn(workload.build(items=24, seed=0))
+                     for __ in range(3)]
+        kernel.run()
+        for process in processes:
+            assert process.completion_cycle <= kernel.clock
+
+    def test_pfu_busy_cycles_bounded_by_clock(self):
+        """No PFU can have been busy longer than the machine existed."""
+        kernel = Porsche(BASE.derive(quantum_ms=0.1))
+        workload = get_workload("twofish")
+        for __ in range(2):
+            kernel.spawn(workload.build(items=4, seed=5))
+        kernel.run()
+        for pfu in kernel.coprocessor.pfus:
+            assert pfu.total_busy_cycles <= kernel.clock
+
+    def test_makespan_additivity_serial_vs_concurrent(self):
+        """Total work is conserved: running two processes concurrently
+        takes at least as long as the longer one alone and no more than
+        the serial sum plus management overhead."""
+        workload = get_workload("alpha")
+
+        def solo() -> int:
+            kernel = Porsche(BASE)
+            kernel.spawn(workload.build(items=64, seed=4))
+            kernel.run()
+            return kernel.clock
+
+        single = solo()
+        kernel = Porsche(BASE)
+        kernel.spawn(workload.build(items=64, seed=4))
+        kernel.spawn(workload.build(items=64, seed=4))
+        kernel.run()
+        concurrent = kernel.clock
+        assert single < concurrent
+        assert concurrent < 2 * single * 1.25

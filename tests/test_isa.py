@@ -1,0 +1,121 @@
+"""ISA-level semantics: flags and conditions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.isa import Cond, Flags, code_address, code_index, to_signed
+
+WORDS = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+class TestFlagsFromSub:
+    @given(a=WORDS, b=WORDS)
+    @settings(max_examples=200)
+    def test_matches_signed_and_unsigned_arithmetic(self, a, b):
+        flags = Flags()
+        flags.set_from_sub(a, b)
+        result = (a - b) & 0xFFFFFFFF
+        assert flags.z == (a == b)
+        assert flags.n == bool(result >> 31)
+        assert flags.c == (a >= b)
+        signed = to_signed(a) - to_signed(b)
+        assert flags.v == not_in_range(signed)
+
+    def test_equality(self):
+        flags = Flags()
+        flags.set_from_sub(5, 5)
+        assert flags.z and flags.c and not flags.n and not flags.v
+
+    def test_signed_overflow(self):
+        flags = Flags()
+        flags.set_from_sub(0x80000000, 1)  # INT_MIN - 1 overflows
+        assert flags.v
+
+
+def not_in_range(value: int) -> bool:
+    return not (-(1 << 31) <= value < (1 << 31))
+
+
+class TestFlagsFromAdd:
+    @given(a=WORDS, b=WORDS)
+    @settings(max_examples=200)
+    def test_matches_arithmetic(self, a, b):
+        flags = Flags()
+        flags.set_from_add(a, b)
+        result = (a + b) & 0xFFFFFFFF
+        assert flags.z == (result == 0)
+        assert flags.n == bool(result >> 31)
+        assert flags.c == (a + b > 0xFFFFFFFF)
+        assert flags.v == not_in_range(to_signed(a) + to_signed(b))
+
+
+class TestConditions:
+    @given(a=WORDS, b=WORDS)
+    @settings(max_examples=200)
+    def test_signed_comparisons(self, a, b):
+        flags = Flags()
+        flags.set_from_sub(a, b)
+        sa, sb = to_signed(a), to_signed(b)
+        assert flags.passes(Cond.EQ) == (sa == sb)
+        assert flags.passes(Cond.NE) == (sa != sb)
+        assert flags.passes(Cond.LT) == (sa < sb)
+        assert flags.passes(Cond.LE) == (sa <= sb)
+        assert flags.passes(Cond.GT) == (sa > sb)
+        assert flags.passes(Cond.GE) == (sa >= sb)
+
+    @given(a=WORDS, b=WORDS)
+    @settings(max_examples=200)
+    def test_unsigned_comparisons(self, a, b):
+        flags = Flags()
+        flags.set_from_sub(a, b)
+        assert flags.passes(Cond.CC) == (a < b)
+        assert flags.passes(Cond.CS) == (a >= b)
+        assert flags.passes(Cond.HI) == (a > b)
+        assert flags.passes(Cond.LS) == (a <= b)
+
+    def test_al_always_passes(self):
+        assert Flags().passes(Cond.AL)
+
+    def test_mi_pl(self):
+        flags = Flags()
+        flags.set_from_sub(0, 1)
+        assert flags.passes(Cond.MI)
+        flags.set_from_sub(1, 0)
+        assert flags.passes(Cond.PL)
+
+
+class TestLogicalFlags:
+    def test_tst_sets_nz_only(self):
+        flags = Flags(c=True, v=True)
+        flags.set_from_logical(0)
+        assert flags.z and not flags.n
+        assert flags.c and flags.v  # unaffected
+
+    def test_negative_result(self):
+        flags = Flags()
+        flags.set_from_logical(0x80000000)
+        assert flags.n and not flags.z
+
+
+class TestCodeAddressing:
+    def test_roundtrip(self):
+        for index in (0, 1, 1000):
+            assert code_index(code_address(index)) == index
+
+    def test_non_code_address_rejected(self):
+        with pytest.raises(ValueError):
+            code_index(0x1000)
+
+    def test_unaligned_rejected(self):
+        with pytest.raises(ValueError):
+            code_index(code_address(1) + 2)
+
+
+class TestToSigned:
+    @given(value=WORDS)
+    @settings(max_examples=100)
+    def test_range(self, value):
+        signed = to_signed(value)
+        assert -(1 << 31) <= signed < (1 << 31)
+        assert signed & 0xFFFFFFFF == value

@@ -1,0 +1,210 @@
+"""The POrSCHE kernel: processes, quanta, syscalls, termination."""
+
+import pytest
+
+from conftest import adder_spec
+from repro.cpu.program import Program
+from repro.kernel.porsche import Porsche
+from repro.kernel.process import ProcessState
+
+
+def program(source: str, circuits=(), name="p") -> Program:
+    return Program.from_source(name, source, circuit_table=list(circuits))
+
+
+EXIT_42 = """
+main:
+    MOV r0, #42
+    SWI #0
+"""
+
+SPIN_THEN_EXIT = """
+main:
+    MOV r1, #200
+loop:
+    SUB r1, r1, #1
+    CMP r1, #0
+    BNE loop
+    MOV r0, #0
+    SWI #0
+"""
+
+
+class TestLifecycle:
+    def test_exit_status_recorded(self, kernel):
+        process = kernel.spawn(program(EXIT_42))
+        kernel.run()
+        assert process.state is ProcessState.EXITED
+        assert process.exit_status == 42
+        assert process.completion_cycle is not None
+
+    def test_pids_are_sequential(self, kernel):
+        a = kernel.spawn(program(EXIT_42))
+        b = kernel.spawn(program(EXIT_42))
+        assert (a.pid, b.pid) == (1, 2)
+
+    def test_clock_advances(self, kernel):
+        kernel.spawn(program(SPIN_THEN_EXIT))
+        kernel.run()
+        assert kernel.clock > 600  # ~200 loop iterations
+
+    def test_run_respects_max_cycles(self, kernel):
+        looping = program("main:\n  B main")
+        kernel.spawn(looping)
+        kernel.run(max_cycles=5_000)
+        assert kernel.clock >= 5_000
+        assert kernel.clock < 50_000
+
+    def test_halt_also_exits(self, kernel):
+        process = kernel.spawn(program("MOV r0, #7\nHALT"))
+        kernel.run()
+        assert process.state is ProcessState.EXITED
+        assert process.exit_status == 7
+
+
+class TestScheduling:
+    def test_multiple_processes_all_finish(self, kernel):
+        processes = [kernel.spawn(program(SPIN_THEN_EXIT)) for _ in range(4)]
+        kernel.run()
+        assert all(p.state is ProcessState.EXITED for p in processes)
+
+    def test_quantum_preemption_interleaves(self, config):
+        kernel = Porsche(config.derive(quantum_ms=0.05))  # 50-cycle quanta
+        a = kernel.spawn(program(SPIN_THEN_EXIT))
+        b = kernel.spawn(program(SPIN_THEN_EXIT))
+        kernel.run()
+        # Both ran in slices: completion cycles are close, not disjoint.
+        assert abs(a.completion_cycle - b.completion_cycle) < (
+            a.completion_cycle / 2
+        )
+        assert kernel.stats.context_switches > 5
+
+    def test_single_process_pays_no_context_switches(self, kernel):
+        kernel.spawn(program(SPIN_THEN_EXIT))
+        kernel.run()
+        assert kernel.stats.context_switches == 1  # only the initial entry
+
+    def test_makespan_roughly_linear_pre_contention(self, config):
+        results = []
+        for n in (1, 2):
+            kernel = Porsche(config)
+            for _ in range(n):
+                kernel.spawn(program(SPIN_THEN_EXIT))
+            kernel.run()
+            results.append(kernel.clock)
+        assert 1.8 < results[1] / results[0] < 2.3
+
+
+class TestSyscalls:
+    def test_write_collects_output(self, kernel):
+        process = kernel.spawn(
+            program("MOV r0, #5\nSWI #3\nMOV r0, #6\nSWI #3\nMOV r0, #0\nSWI #0")
+        )
+        kernel.run()
+        assert process.output == [5, 6]
+
+    def test_clock_syscall(self, kernel):
+        process = kernel.spawn(
+            program("SWI #4\nSWI #3".replace("SWI #3", "SWI #3\nMOV r0, #0\nSWI #0"))
+        )
+        kernel.run()
+        # r0 after SWI #4 held the clock; it was written out via SWI #3...
+        # simpler: the process exited and wrote one nonzero-ish value.
+        assert process.state is ProcessState.EXITED
+
+    def test_yield_ends_quantum(self, config):
+        kernel = Porsche(config.derive(quantum_ms=100.0))
+        source = """
+        main:
+            SWI #2
+            MOV r0, #0
+            SWI #0
+        """
+        a = kernel.spawn(program(source))
+        b = kernel.spawn(program(source))
+        kernel.run()
+        assert kernel.stats.quanta >= 3  # yields forced extra quanta
+
+    def test_unknown_syscall_kills(self, kernel):
+        process = kernel.spawn(program("SWI #99\nHALT"))
+        kernel.run()
+        assert process.state is ProcessState.KILLED
+        assert "syscall" in process.kill_reason
+
+    def test_register_syscall_end_to_end(self, kernel):
+        source = """
+        main:
+            MOV r0, #1          ; CID
+            MOV r1, #0          ; table index
+            MOV r2, #0          ; no software alternative
+            SWI #1
+            MOV r0, #11
+            MOV r1, #31
+            MCR f0, r0
+            MCR f1, r1
+            CDP #1, f2, f0, f1
+            MRC r3, f2
+            MOV r0, r3
+            SWI #0
+        """
+        process = kernel.spawn(program(source, circuits=[adder_spec()]))
+        kernel.run()
+        assert process.state is ProcessState.EXITED
+        assert process.exit_status == 42
+        assert kernel.stats.fault_actions.get("load") == 1
+
+
+class TestFaultsAndKills:
+    def test_unregistered_cid_kills_process(self, kernel):
+        process = kernel.spawn(program("CDP #5, f0, f0, f0\nHALT"))
+        kernel.run()
+        assert process.state is ProcessState.KILLED
+        assert "CID" in process.kill_reason
+
+    def test_memory_fault_kills_process(self, kernel):
+        process = kernel.spawn(program("MOV r0, #0\nLDR r1, [r0]\nHALT"))
+        kernel.run()
+        assert process.state is ProcessState.KILLED
+        assert "memory fault" in process.kill_reason
+
+    def test_kill_does_not_stop_other_processes(self, kernel):
+        bad = kernel.spawn(program("CDP #5, f0, f0, f0\nHALT"))
+        good = kernel.spawn(program(EXIT_42))
+        kernel.run()
+        assert bad.state is ProcessState.KILLED
+        assert good.state is ProcessState.EXITED
+
+    def test_oversized_circuit_registration_kills(self, kernel):
+        source = """
+        main:
+            MOV r0, #1
+            MOV r1, #0
+            MOV r2, #0
+            SWI #1
+            HALT
+        """
+        huge = adder_spec(clbs=kernel.config.pfu_clbs * 2)
+        process = kernel.spawn(program(source, circuits=[huge]))
+        kernel.run()
+        assert process.state is ProcessState.KILLED
+        assert "CLB" in process.kill_reason
+
+
+class TestAccounting:
+    def test_kernel_and_cpu_cycles_sum_to_clock(self, kernel):
+        a = kernel.spawn(program(SPIN_THEN_EXIT))
+        b = kernel.spawn(program(SPIN_THEN_EXIT))
+        kernel.run()
+        total = sum(
+            p.stats.cpu_cycles + p.stats.kernel_cycles
+            for p in (a, b)
+        )
+        # CIS exit-cleanup cycles are charged to the clock but not to a
+        # process; allow that small slack.
+        assert 0 <= kernel.clock - total <= 4 * kernel.config.cis_decision_cycles
+
+    def test_quanta_counted_per_process(self, config):
+        kernel = Porsche(config.derive(quantum_ms=0.05))
+        process = kernel.spawn(program(SPIN_THEN_EXIT))
+        kernel.run()
+        assert process.stats.quanta > 5

@@ -1,0 +1,91 @@
+"""Program images and loading."""
+
+import pytest
+
+from conftest import adder_spec
+from repro.cpu.program import Program, ResultRegion
+from repro.errors import WorkloadError
+
+
+def source_with_data() -> str:
+    return """
+    .data
+    dst: .word 0, 0
+    .text
+    main:
+        NOP
+        HALT
+    """
+
+
+class TestFromSource:
+    def test_builds_and_validates(self):
+        program = Program.from_source("p", source_with_data())
+        assert program.name == "p"
+        assert len(program.image.instructions) == 2
+
+    def test_result_labels_resolve(self):
+        program = Program.from_source(
+            "p", source_with_data(), result_labels={"dst": 8}
+        )
+        assert program.result_regions["dst"] == ResultRegion(
+            address=0x1000, length=8
+        )
+
+    def test_unknown_result_label_rejected(self):
+        with pytest.raises(Exception):
+            Program.from_source(
+                "p", source_with_data(), result_labels={"nope": 8}
+            )
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(WorkloadError):
+            Program.from_source("p", "; nothing")
+
+    def test_oversized_data_rejected(self):
+        source = ".data\nbig: .space 100000\n.text\nNOP"
+        with pytest.raises(WorkloadError):
+            Program.from_source("p", source, memory_size=64 * 1024)
+
+    def test_duplicate_circuit_names_rejected(self):
+        with pytest.raises(WorkloadError):
+            Program.from_source(
+                "p",
+                source_with_data(),
+                circuit_table=[adder_spec("x"), adder_spec("x")],
+            )
+
+
+class TestRuntimeSupport:
+    def test_build_memory_contains_data(self):
+        source = ".data\nv: .word 0xABCD\n.text\nNOP"
+        program = Program.from_source("p", source)
+        memory = program.build_memory()
+        assert memory.load_word(0x1000) == 0xABCD
+
+    def test_build_memory_is_fresh_per_call(self):
+        program = Program.from_source("p", source_with_data())
+        first = program.build_memory()
+        first.store_word(0x1000, 7)
+        second = program.build_memory()
+        assert second.load_word(0x1000) == 0
+
+    def test_circuit_lookup(self):
+        program = Program.from_source(
+            "p", source_with_data(), circuit_table=[adder_spec("a")]
+        )
+        assert program.circuit(0).name == "a"
+        with pytest.raises(WorkloadError):
+            program.circuit(1)
+
+    def test_read_result(self):
+        program = Program.from_source(
+            "p", source_with_data(), result_labels={"dst": 8}
+        )
+        memory = program.build_memory()
+        memory.store_word(0x1000, 0x01020304)
+        assert program.read_result(memory, "dst")[:4] == bytes(
+            [4, 3, 2, 1]
+        )
+        with pytest.raises(WorkloadError):
+            program.read_result(memory, "other")

@@ -1,0 +1,77 @@
+"""The public API surface: what ``import repro`` promises."""
+
+import subprocess
+import sys
+
+import repro
+
+
+class TestExports:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_headline_types(self):
+        assert repro.MachineConfig is not None
+        assert repro.Porsche is not None
+        assert callable(repro.get_workload)
+        assert callable(repro.figure2)
+        assert callable(repro.run_experiment)
+
+    def test_quickstart_snippet_from_the_readme(self):
+        """The README's quickstart must keep working verbatim."""
+        kernel = repro.Porsche(repro.MachineConfig(cycles_per_ms=1000))
+        program = repro.get_workload("alpha").build(items=16)
+        process = kernel.spawn(program)
+        kernel.run()
+        assert process.completion_cycle is not None
+        assert process.read_result("dst") == repro.get_workload(
+            "alpha"
+        ).expected(16)
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self):
+        result = subprocess.run(
+            [
+                sys.executable, "-m", "repro",
+                "run", "alpha", "1",
+                "--scale", "0.000125",
+                "--quiet",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0
+        assert "makespan" in result.stdout
+
+    def test_help(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 0
+        assert "fig2" in result.stdout and "fig3" in result.stdout
+
+
+class TestErrorHierarchy:
+    def test_all_library_errors_share_a_base(self):
+        from repro import errors
+
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_cpu_events_are_not_errors(self):
+        """Traps are control flow, not failures."""
+        from repro.cpu.exceptions import CPUEvent
+        from repro.errors import ReproError
+
+        assert not issubclass(CPUEvent, ReproError)

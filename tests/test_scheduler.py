@@ -1,0 +1,98 @@
+"""Round-robin process scheduler."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel.process import ProcessState
+from repro.kernel.scheduler import RoundRobinScheduler
+
+
+class FakeProcess:
+    def __init__(self, pid):
+        self.pid = pid
+        self.state = ProcessState.READY
+
+    @property
+    def alive(self):
+        return self.state in (ProcessState.READY, ProcessState.RUNNING)
+
+
+class TestScheduler:
+    def test_empty_pick(self):
+        assert RoundRobinScheduler().pick() is None
+
+    def test_round_robin_order(self):
+        scheduler = RoundRobinScheduler()
+        procs = [FakeProcess(i) for i in range(3)]
+        for proc in procs:
+            scheduler.add(proc)
+        order = [scheduler.pick().pid for _ in range(6)]
+        assert order == [0, 1, 2, 0, 1, 2]
+
+    def test_pick_marks_running(self):
+        scheduler = RoundRobinScheduler()
+        proc = FakeProcess(1)
+        scheduler.add(proc)
+        scheduler.pick()
+        assert proc.state is ProcessState.RUNNING
+
+    def test_preempt_marks_ready(self):
+        scheduler = RoundRobinScheduler()
+        proc = FakeProcess(1)
+        scheduler.add(proc)
+        scheduler.pick()
+        scheduler.preempt(proc)
+        assert proc.state is ProcessState.READY
+
+    def test_dead_processes_dropped_lazily(self):
+        scheduler = RoundRobinScheduler()
+        alive, dead = FakeProcess(1), FakeProcess(2)
+        scheduler.add(alive)
+        scheduler.add(dead)
+        dead.state = ProcessState.EXITED
+        assert scheduler.pick().pid == 1
+        assert scheduler.pick().pid == 1  # dead one skipped and dropped
+        assert len(scheduler) == 1
+
+    def test_all_dead(self):
+        scheduler = RoundRobinScheduler()
+        proc = FakeProcess(1)
+        scheduler.add(proc)
+        proc.state = ProcessState.KILLED
+        assert scheduler.pick() is None
+
+    def test_add_dead_rejected(self):
+        scheduler = RoundRobinScheduler()
+        proc = FakeProcess(1)
+        proc.state = ProcessState.EXITED
+        with pytest.raises(KernelError):
+            scheduler.add(proc)
+
+    def test_remove(self):
+        scheduler = RoundRobinScheduler()
+        proc = FakeProcess(1)
+        scheduler.add(proc)
+        scheduler.remove(proc)
+        assert scheduler.pick() is None
+        with pytest.raises(KernelError):
+            scheduler.remove(proc)
+
+    def test_switch_counting(self):
+        scheduler = RoundRobinScheduler()
+        a, b = FakeProcess(1), FakeProcess(2)
+        scheduler.add(a)
+        scheduler.pick()
+        scheduler.pick()  # same process again: no switch
+        assert scheduler.switches == 0
+        scheduler.add(b)
+        scheduler.pick()  # a again (head of queue)
+        scheduler.pick()  # b: first real switch
+        assert scheduler.switches == 1
+
+    def test_runnable_count(self):
+        scheduler = RoundRobinScheduler()
+        a, b = FakeProcess(1), FakeProcess(2)
+        scheduler.add(a)
+        scheduler.add(b)
+        b.state = ProcessState.EXITED
+        assert scheduler.runnable == 1

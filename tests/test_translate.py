@@ -1,0 +1,210 @@
+"""Equivalence of the closure-compiled fast path and the reference
+interpreter, instruction by instruction and over whole programs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import adder_spec
+from repro.config import MachineConfig
+from repro.core.coprocessor import ProteusCoprocessor
+from repro.core.tlb import IDTuple
+from repro.cpu.assembler import assemble
+from repro.cpu.core import CPU, CPUState
+from repro.cpu.isa import code_address
+from repro.cpu.memory import Memory
+
+CONFIG = MachineConfig(cycles_per_ms=1000)
+
+
+def make_cpu(source: str, with_circuit: bool = False, pid: int = 1):
+    program = assemble(source)
+    memory = Memory(size=16 * 1024)
+    memory.write_block(program.data_base, program.data)
+    state = CPUState(memory=memory)
+    state.pc = code_address(program.entry_index)
+    coprocessor = ProteusCoprocessor(config=CONFIG)
+    if with_circuit:
+        instance = adder_spec(latency=4).instantiate(pid, CONFIG)
+        coprocessor.load_circuit(0, instance)
+        coprocessor.dispatch.map_hardware(IDTuple(pid, 1), 0)
+    return CPU(
+        config=CONFIG,
+        program=program.instructions,
+        state=state,
+        coprocessor=coprocessor,
+        pid=pid,
+    )
+
+
+def run_both(source: str, budgets: list[int], with_circuit: bool = False):
+    """Run the same program on both paths in identical bursts."""
+    fast = make_cpu(source, with_circuit)
+    slow = make_cpu(source, with_circuit)
+    fast_log, slow_log = [], []
+    for budget in budgets:
+        rf = fast.run(budget)
+        rs = slow.run_interpreted(budget)
+        fast_log.append((rf.cycles, type(rf.event).__name__))
+        slow_log.append((rs.cycles, type(rs.event).__name__))
+    return fast, slow, fast_log, slow_log
+
+
+def assert_same_state(fast: CPU, slow: CPU):
+    assert fast.state.regs == slow.state.regs
+    assert fast.state.pc == slow.state.pc
+    assert fast.state.halted == slow.state.halted
+    assert (
+        fast.state.memory.read_block(0x1000, 256)
+        == slow.state.memory.read_block(0x1000, 256)
+    )
+    flags_f, flags_s = fast.state.flags, slow.state.flags
+    assert (flags_f.n, flags_f.z, flags_f.c, flags_f.v) == (
+        flags_s.n, flags_s.z, flags_s.c, flags_s.v,
+    )
+
+
+FIBONACCI = """
+.data
+out: .space 64
+.text
+main:
+    MOV r0, #0
+    MOV r1, #1
+    MOV r2, #out
+    MOV r3, #12
+loop:
+    STR r0, [r2], #4
+    ADD r4, r0, r1
+    MOV r0, r1
+    MOV r1, r4
+    SUB r3, r3, #1
+    CMP r3, #0
+    BNE loop
+    MOV r0, #0
+    HALT
+"""
+
+MIXED = """
+.data
+buf: .word 5, -3, 100, 0x7FFF
+.text
+main:
+    MOV r4, #buf
+    LDR r0, [r4], #4
+    LDR r1, [r4], #4
+    ADD r2, r0, r1
+    MUL r3, r2, r0
+    LSR r5, r3, #1
+    ASR r6, r1, #2
+    ROR r7, r3, #5
+    CMP r0, r1
+    BGT big
+    MOV r8, #0
+    B done
+big:
+    MOV r8, #1
+done:
+    TST r8, #1
+    CMN r0, r1
+    STRB r8, [r4]
+    LDRB r9, [r4]
+    MOV r0, #0
+    HALT
+"""
+
+CDP_PROGRAM = """
+main:
+    MOV r0, #1000
+    MOV r1, #2345
+    MCR f0, r0
+    MCR f1, r1
+    CDP #1, f2, f0, f1
+    MRC r2, f2
+    CDP #1, f3, f1, f1
+    MRC r3, f3
+    MOV r0, #0
+    HALT
+"""
+
+
+class TestProgramEquivalence:
+    @pytest.mark.parametrize("source", [FIBONACCI, MIXED], ids=["fib", "mixed"])
+    def test_single_burst(self, source):
+        fast, slow, flog, slog = run_both(source, [1 << 20])
+        assert flog == slog
+        assert_same_state(fast, slow)
+
+    @pytest.mark.parametrize("budget", [1, 2, 3, 7, 13])
+    def test_tiny_bursts(self, budget):
+        fast, slow, flog, slog = run_both(FIBONACCI, [budget] * 200)
+        assert flog == slog
+        assert_same_state(fast, slow)
+
+    def test_cdp_with_interruptions(self):
+        """Quantum boundaries land mid-CDP; both paths must agree."""
+        for budget in (2, 3, 5, 100):
+            fast, slow, flog, slog = run_both(
+                CDP_PROGRAM, [budget] * 50, with_circuit=True
+            )
+            assert flog == slog, budget
+            assert_same_state(fast, slow)
+
+    def test_fault_equivalence(self):
+        source = "CDP #9, f0, f0, f0\nMOV r0, #0\nHALT"
+        fast, slow, flog, slog = run_both(source, [100])
+        assert flog == slog
+        assert flog[0][1] == "CustomInstructionFault"
+        assert_same_state(fast, slow)
+
+    def test_memory_fault_equivalence(self):
+        source = "MOV r0, #0\nLDR r1, [r0]\nHALT"
+        fast = make_cpu(source)
+        slow = make_cpu(source)
+        from repro.errors import MemoryFault
+
+        with pytest.raises(MemoryFault):
+            fast.run(100)
+        with pytest.raises(MemoryFault):
+            slow.run_interpreted(100)
+
+
+ALU_OPS = ["ADD", "SUB", "RSB", "AND", "ORR", "EOR", "BIC", "LSL", "LSR",
+           "ASR", "ROR"]
+
+
+@st.composite
+def straight_line_program(draw):
+    """A random straight-line program over r0-r9 ending in SWI #0."""
+    lines = [f"MOV r{i}, #{draw(st.integers(-1000, 1000))}" for i in range(4)]
+    count = draw(st.integers(min_value=1, max_value=25))
+    for _ in range(count):
+        kind = draw(st.sampled_from(["alu", "mul", "cmp", "shift_imm"]))
+        rd = draw(st.integers(0, 9))
+        rn = draw(st.integers(0, 9))
+        rm = draw(st.integers(0, 9))
+        if kind == "alu":
+            op = draw(st.sampled_from(ALU_OPS[:7]))
+            if draw(st.booleans()):
+                lines.append(f"{op} r{rd}, r{rn}, #{draw(st.integers(-100, 100))}")
+            else:
+                lines.append(f"{op} r{rd}, r{rn}, r{rm}")
+        elif kind == "mul":
+            lines.append(f"MUL r{rd}, r{rn}, r{rm}")
+        elif kind == "cmp":
+            lines.append(f"CMP r{rn}, r{rm}")
+        else:
+            op = draw(st.sampled_from(["LSL", "LSR", "ASR", "ROR"]))
+            lines.append(f"{op} r{rd}, r{rn}, #{draw(st.integers(0, 40))}")
+    lines.append("MOV r0, #0")
+    lines.append("HALT")
+    return "\n".join(lines)
+
+
+class TestRandomPrograms:
+    @given(source=straight_line_program(), burst=st.integers(1, 50))
+    @settings(max_examples=80, deadline=None)
+    def test_equivalence(self, source, burst):
+        fast, slow, flog, slog = run_both(source, [burst] * 80)
+        assert flog == slog
+        assert_same_state(fast, slow)
