@@ -41,6 +41,13 @@ from .core import (
 )
 from .cpu import CPU, Program, assemble
 from .kernel import Porsche, Process, make_policy
+from .trace import (
+    CounterSink,
+    JsonlSink,
+    RingBufferSink,
+    TimelineAggregator,
+    TraceBus,
+)
 from .apps import WORKLOADS, Workload, WorkloadVariant, get_workload
 from .sim import (
     DEFAULT_SCALE,
@@ -70,6 +77,11 @@ __all__ = [
     "Porsche",
     "Process",
     "make_policy",
+    "CounterSink",
+    "JsonlSink",
+    "RingBufferSink",
+    "TimelineAggregator",
+    "TraceBus",
     "WORKLOADS",
     "Workload",
     "WorkloadVariant",

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from ..config import MachineConfig
 from ..errors import PFUError
 from ..fabric.array import FPLArray
+from ..trace.bus import TraceBus
 from .circuit import CircuitInstance
 from .dispatch import DispatchResult, DispatchUnit
 from .operand_regs import OperandRegisters
@@ -45,6 +46,9 @@ class ProteusCoprocessor:
     """The complete FPL function unit."""
 
     config: MachineConfig
+    #: Machine event bus shared with the kernel; a standalone coprocessor
+    #: gets a private bus so dispatch counters always have a home.
+    trace: TraceBus | None = None
     regfile: FPLRegisterFile = field(init=False)
     pfus: PFUBank = field(init=False)
     dispatch: DispatchUnit = field(init=False)
@@ -52,9 +56,11 @@ class ProteusCoprocessor:
     array: FPLArray = field(init=False)
 
     def __post_init__(self) -> None:
+        if self.trace is None:
+            self.trace = TraceBus()
         self.regfile = FPLRegisterFile(size=self.config.fpl_registers)
         self.pfus = PFUBank.build(self.config.pfu_count, self.config.pfu_clbs)
-        self.dispatch = DispatchUnit.build(self.config.tlb_entries)
+        self.dispatch = DispatchUnit.build(self.config.tlb_entries, self.trace)
         self.array = FPLArray.build(self.config.pfu_count, self.config.pfu_clbs)
 
     # ---- datapath interface ------------------------------------------------

@@ -21,6 +21,7 @@ import enum
 from dataclasses import dataclass, field
 
 from ..errors import DispatchError
+from ..trace.bus import TraceBus
 from .tlb import DispatchTLB, IDTuple
 
 
@@ -30,6 +31,14 @@ class DispatchKind(enum.Enum):
     HARDWARE = "hardware"
     SOFTWARE = "software"
     FAULT = "fault"
+
+
+#: Trace-event outcome tag for each resolution kind.
+_OUTCOME = {
+    DispatchKind.HARDWARE: "hit",
+    DispatchKind.SOFTWARE: "soft",
+    DispatchKind.FAULT: "fault",
+}
 
 
 @dataclass(frozen=True)
@@ -55,17 +64,24 @@ class DispatchUnit:
 
     hardware_tlb: DispatchTLB
     software_tlb: DispatchTLB
-    #: Statistics for the evaluation harness.
-    resolutions: dict[DispatchKind, int] = field(
-        default_factory=lambda: {kind: 0 for kind in DispatchKind}
-    )
+    #: Event bus that receives one ``DispatchResolved`` per resolution.
+    trace: TraceBus = field(default_factory=TraceBus)
 
     @classmethod
-    def build(cls, tlb_entries: int) -> "DispatchUnit":
+    def build(
+        cls, tlb_entries: int, trace: TraceBus | None = None
+    ) -> "DispatchUnit":
         return cls(
             hardware_tlb=DispatchTLB(entries=tlb_entries),
             software_tlb=DispatchTLB(entries=tlb_entries),
+            trace=trace if trace is not None else TraceBus(),
         )
+
+    @property
+    def resolutions(self) -> dict[DispatchKind, int]:
+        """Resolution counts by kind — a view derived from the trace bus."""
+        counts = self.trace.counters.dispatch
+        return {kind: counts[_OUTCOME[kind]] for kind in DispatchKind}
 
     def resolve(self, pid: int, cid: int) -> DispatchResult:
         """Resolve an execute instruction for the current process."""
@@ -83,7 +99,7 @@ class DispatchUnit:
                 )
             else:
                 result = DispatchResult(kind=DispatchKind.FAULT)
-        self.resolutions[result.kind] += 1
+        self.trace.dispatch_resolved(pid, cid, _OUTCOME[result.kind])
         return result
 
     # ---- OS-side management -----------------------------------------------

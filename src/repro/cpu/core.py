@@ -78,6 +78,8 @@ class RunResult:
     cycles: int
     #: The event that ended the burst, or ``None`` if the budget expired.
     event: CPUEvent | None = None
+    #: Instructions retired during the burst (feeds CpuBurst trace events).
+    instructions: int = 0
 
 
 class CPU:
@@ -147,6 +149,7 @@ class CPU:
         used = 0
         event: CPUEvent | None = None
         length = len(ops)
+        retired = 0
         try:
             while used < budget:
                 if state.halted:
@@ -162,15 +165,16 @@ class CPU:
                 if ctx.interrupted:
                     ctx.interrupted = False
                     break
-            return RunResult(cycles=used, event=event)
         except CPUEvent as trap:
             # The raising instruction charged no cycles itself; charge the
             # base issue cost so traps are not free.
             used += self.config.alu_cycles
-            return RunResult(cycles=used, event=trap)
+            event = trap
         finally:
             state.pc = code_address(ctx.idx)
-            state.instructions_retired += ctx.retired - base_retired
+            retired = ctx.retired - base_retired
+            state.instructions_retired += retired
+        return RunResult(cycles=used, event=event, instructions=retired)
 
     def run_interpreted(self, budget: int) -> RunResult:
         """The same burst semantics on the reference interpreter."""
@@ -178,19 +182,28 @@ class CPU:
             return RunResult(cycles=0)
         used = 0
         state = self.state
+        base_retired = state.instructions_retired
+
+        def finish(event: CPUEvent | None = None) -> RunResult:
+            return RunResult(
+                cycles=used,
+                event=event,
+                instructions=state.instructions_retired - base_retired,
+            )
+
         while used < budget:
             if state.halted:
-                return RunResult(cycles=used, event=ExitTrap())
+                return finish(ExitTrap())
             try:
                 step = self.step(budget - used)
             except CPUEvent as event:
                 used += self.config.alu_cycles
-                return RunResult(cycles=used, event=event)
+                return finish(event)
             used += step.cycles
             if not step.retired:
                 # CDP interrupted at the budget boundary.
                 break
-        return RunResult(cycles=used)
+        return finish()
 
     # ---------------------------------------------------------------------
     def step(self, budget: int = 1 << 30) -> StepResult:

@@ -329,7 +329,10 @@ def _translate_one(
         return handler
 
     if op is Op.CDP:
-        resolve = coprocessor.resolve
+        # Bind the dispatch unit's resolver directly: the coprocessor's
+        # ``resolve`` is a pure delegation hop, and CDP decode is the
+        # hottest call site in a burst.
+        resolve = coprocessor.dispatch.resolve
         execute = coprocessor.execute
         capture = coprocessor.capture_operands
         issue = config.cdp_issue_cycles

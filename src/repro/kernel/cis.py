@@ -33,49 +33,39 @@ from ..core.pfu import PFU
 from ..core.tlb import IDTuple
 from ..errors import KernelError, ProcessKilled
 from ..fabric.validate import SecurityPolicy, validate_bitstream
+from ..trace.bus import TraceBus
+from ..trace.counters import CISStats  # re-export: the derived view
 from .process import Process, Registration
 from .replacement import ReplacementPolicy
 
-
-@dataclass
-class CISStats:
-    """Management-cost accounting across a whole run."""
-
-    registrations: int = 0
-    rejected_registrations: int = 0
-    mapping_faults: int = 0
-    loads: int = 0
-    evictions: int = 0
-    soft_deferrals: int = 0
-    soft_remaps: int = 0
-    state_swaps: int = 0
-    promotions: int = 0
-    kills: int = 0
-    static_bytes_moved: int = 0
-    state_bytes_moved: int = 0
-    kernel_cycles: int = 0
-
-    @property
-    def total_bytes_moved(self) -> int:
-        return self.static_bytes_moved + self.state_bytes_moved
+__all__ = ["CISStats", "CustomInstructionScheduler"]
 
 
 @dataclass
 class CustomInstructionScheduler:
-    """Kernel-side manager of the Proteus coprocessor."""
+    """Kernel-side manager of the Proteus coprocessor.
+
+    Every management action is published on the machine event bus;
+    :attr:`stats` is the bus counter sink's derived
+    :class:`~repro.trace.counters.CISStats` view.
+    """
 
     config: MachineConfig
     coprocessor: ProteusCoprocessor
     policy: ReplacementPolicy
     processes: dict[int, Process]
+    trace: TraceBus = field(default_factory=TraceBus)
     security: SecurityPolicy = field(init=False)
-    stats: CISStats = field(default_factory=CISStats)
 
     def __post_init__(self) -> None:
         self.security = SecurityPolicy(
             max_clbs=self.config.pfu_clbs,
             max_state_words=64,
         )
+
+    @property
+    def stats(self) -> CISStats:
+        return self.trace.counters.cis
 
     # ------------------------------------------------------------------
     # registration (SWI #1)
@@ -99,9 +89,9 @@ class CustomInstructionScheduler:
         )
         report = validate_bitstream(instance.bitstream, self.security)
         cycles = self.config.syscall_cycles + self.config.cis_decision_cycles
-        self.stats.kernel_cycles += cycles
+        self.trace.cis_charge(cycles)
         if not report.ok:
-            self.stats.rejected_registrations += 1
+            self.trace.registration_rejected(process.pid, cid)
             self._kill(process, f"bitstream rejected: {report.violations[0]}")
         registration = Registration(
             cid=cid,
@@ -109,7 +99,7 @@ class CustomInstructionScheduler:
             soft_address=soft_address if soft_address else None,
         )
         process.register(registration)
-        self.stats.registrations += 1
+        self.trace.registered(process.pid, cid)
         return cycles
 
     def register_alias(
@@ -123,7 +113,7 @@ class CustomInstructionScheduler:
         instance (and hence the same PFU); each gets its own TLB tuple.
         """
         cycles = self.config.syscall_cycles
-        self.stats.kernel_cycles += cycles
+        self.trace.cis_charge(cycles)
         target = process.registration(target_cid)
         if target is None:
             self._kill(
@@ -133,7 +123,7 @@ class CustomInstructionScheduler:
         if cid in process.registrations:
             self._kill(process, f"CID {cid} already registered")
         process.registrations[cid] = target
-        self.stats.registrations += 1
+        self.trace.registered(process.pid, cid)
         return cycles
 
     # ------------------------------------------------------------------
@@ -147,7 +137,7 @@ class CustomInstructionScheduler:
         cycles = self.config.fault_entry_cycles
         registration = process.registration(cid)
         if registration is None:
-            self.stats.kernel_cycles += cycles
+            self.trace.cis_charge(cycles)
             self._kill(process, f"unregistered CID {cid}")
         key = IDTuple(pid=process.pid, cid=cid)
 
@@ -155,9 +145,8 @@ class CustomInstructionScheduler:
         if registration.pfu_index is not None:
             self.coprocessor.dispatch.map_hardware(key, registration.pfu_index)
             cycles += self.config.tlb_update_cycles
-            self.stats.mapping_faults += 1
-            process.stats.mapping_faults += 1
-            self.stats.kernel_cycles += cycles
+            self.trace.mapping_fault(process.pid, cid)
+            self.trace.cis_charge(cycles)
             return cycles, "mapping"
 
         # Free PFU available?  A free slot always beats sharing: paying
@@ -167,8 +156,8 @@ class CustomInstructionScheduler:
         if free is not None:
             cycles += self.config.cis_decision_cycles
             cycles += self._load_into(free, registration, key)
-            process.stats.load_faults += 1
-            self.stats.kernel_cycles += cycles
+            self.trace.load_fault(process.pid, cid)
+            self.trace.cis_charge(cycles)
             return cycles, "load"
 
         # Array full but another process's instance of the same circuit
@@ -178,7 +167,7 @@ class CustomInstructionScheduler:
             shared = self._find_shareable(registration)
             if shared is not None:
                 cycles += self._share_pfu(shared, registration, key)
-                self.stats.kernel_cycles += cycles
+                self.trace.cis_charge(cycles)
                 return cycles, "share"
 
         # Array full: defer to software if registered and preferred.
@@ -189,13 +178,9 @@ class CustomInstructionScheduler:
                 key, registration.soft_address
             )
             cycles += self.config.tlb_update_cycles
-            if registration.soft_mapped:
-                self.stats.soft_remaps += 1
-            else:
-                registration.soft_mapped = True
-                self.stats.soft_deferrals += 1
-            process.stats.soft_deferrals += 1
-            self.stats.kernel_cycles += cycles
+            self.trace.soft_defer(process.pid, cid, registration.soft_mapped)
+            registration.soft_mapped = True
+            self.trace.cis_charge(cycles)
             return cycles, "soft"
 
         # Array full: evict a victim and load.
@@ -205,8 +190,8 @@ class CustomInstructionScheduler:
         )
         cycles += self._evict(victim)
         cycles += self._load_into(victim, registration, key)
-        process.stats.load_faults += 1
-        self.stats.kernel_cycles += cycles
+        self.trace.load_fault(process.pid, cid)
+        self.trace.cis_charge(cycles)
         return cycles, "swap"
 
     # ------------------------------------------------------------------
@@ -219,14 +204,16 @@ class CustomInstructionScheduler:
         for registration in process.registrations.values():
             if registration.pfu_index is not None:
                 pfu_index = registration.pfu_index
+                name = registration.instance.bitstream.name
                 self.coprocessor.unload_circuit(pfu_index, keep_static=True)
                 registration.pfu_index = None
+                self.trace.circuit_unload(process.pid, pfu_index, name)
                 freed.append(pfu_index)
         self.coprocessor.dispatch.unmap_pid(process.pid)
         if self.config.promote_on_free:
             for pfu_index in freed:
                 cycles += self._promote_into(pfu_index)
-        self.stats.kernel_cycles += cycles
+        self.trace.cis_charge(cycles)
         return cycles
 
     # ------------------------------------------------------------------
@@ -260,13 +247,17 @@ class CustomInstructionScheduler:
             pfu.index, registration.instance, reuse_static=reuse_static
         )
         state_bytes = registration.instance.bitstream.state_bytes
-        static_bytes = moved - state_bytes
-        self.stats.static_bytes_moved += max(0, static_bytes)
-        self.stats.state_bytes_moved += min(moved, state_bytes)
         registration.pfu_index = pfu.index
         registration.soft_mapped = False
         registration.loads += 1
-        self.stats.loads += 1
+        self.trace.circuit_load(
+            key.pid,
+            key.cid,
+            pfu.index,
+            registration.instance.bitstream.name,
+            max(0, moved - state_bytes),
+            min(moved, state_bytes),
+        )
         self.coprocessor.dispatch.map_hardware(key, pfu.index)
         return self.config.transfer_cycles(moved) + self.config.tlb_update_cycles
 
@@ -279,8 +270,9 @@ class CustomInstructionScheduler:
         __, state_bytes = self.coprocessor.unload_circuit(
             victim.index, keep_static=True
         )
-        self.stats.state_bytes_moved += state_bytes
-        self.stats.evictions += 1
+        self.trace.circuit_evict(
+            instance.pid, victim.index, instance.bitstream.name, state_bytes
+        )
         if owner is not None:
             for registration in owner.registrations.values():
                 if registration.instance is instance:
@@ -304,7 +296,7 @@ class CustomInstructionScheduler:
         cycles = self.config.cis_decision_cycles
         cycles += self._evict(pfu)
         cycles += self._load_into(pfu, registration, key, reuse_static=True)
-        self.stats.state_swaps += 1
+        self.trace.state_swap(key.pid, key.cid, pfu.index)
         return cycles
 
     def _promote_into(self, pfu_index: int) -> int:
@@ -328,10 +320,10 @@ class CustomInstructionScheduler:
                     continue
                 key = IDTuple(pid=process.pid, cid=registration.cid)
                 cycles = self._load_into(pfu, registration, key)
-                self.stats.promotions += 1
+                self.trace.circuit_promote(process.pid, registration.cid, pfu_index)
                 return cycles
         return 0
 
     def _kill(self, process: Process, reason: str) -> None:
-        self.stats.kills += 1
+        self.trace.cis_kill(process.pid)
         raise ProcessKilled(pid=process.pid, reason=reason)

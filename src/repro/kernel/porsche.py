@@ -13,50 +13,42 @@ protocol (§4.4) makes the re-issue on the next quantum transparent.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from ..config import MachineConfig
 from ..core.coprocessor import ProteusCoprocessor
 from ..cpu.exceptions import CustomInstructionFault, ExitTrap, SyscallTrap
 from ..cpu.program import Program
 from ..errors import KernelError, ProcessKilled, ReproError
+from ..trace.bus import TraceBus
+from ..trace.counters import KernelStats  # re-export: the derived view
 from .cis import CustomInstructionScheduler
 from .process import Process, ProcessState, create_process
 from .replacement import ReplacementPolicy, make_policy
 from .scheduler import RoundRobinScheduler
 from .syscalls import Syscall
 
+__all__ = ["KernelStats", "Porsche"]
+
 MASK32 = 0xFFFFFFFF
 
 
-@dataclass
-class KernelStats:
-    """Run-level accounting, filled in as the kernel executes."""
-
-    total_cycles: int = 0
-    quanta: int = 0
-    context_switches: int = 0
-    timer_interrupts: int = 0
-    syscalls: int = 0
-    faults: int = 0
-    fault_actions: dict[str, int] = field(default_factory=dict)
-    kills: int = 0
-
-    def record_fault(self, action: str) -> None:
-        self.faults += 1
-        self.fault_actions[action] = self.fault_actions.get(action, 0) + 1
-
-
 class Porsche:
-    """The kernel instance owning one simulated machine's software state."""
+    """The kernel instance owning one simulated machine's software state.
+
+    All accounting flows through ``self.trace``, the machine event bus
+    shared by every layer; ``self.stats`` is the bus counter sink's
+    :class:`~repro.trace.counters.KernelStats` view.
+    """
 
     def __init__(
         self,
         config: MachineConfig,
         policy: ReplacementPolicy | None = None,
+        trace: TraceBus | None = None,
     ) -> None:
         self.config = config
-        self.coprocessor = ProteusCoprocessor(config=config)
+        self.trace = trace if trace is not None else TraceBus()
+        self.trace.bind_clock(lambda: self.clock)
+        self.coprocessor = ProteusCoprocessor(config=config, trace=self.trace)
         self.processes: dict[int, Process] = {}
         self.scheduler = RoundRobinScheduler()
         self.policy = policy or make_policy("round_robin", seed=config.seed)
@@ -65,9 +57,10 @@ class Porsche:
             coprocessor=self.coprocessor,
             policy=self.policy,
             processes=self.processes,
+            trace=self.trace,
         )
         self.clock = 0
-        self.stats = KernelStats()
+        self.stats = self.trace.counters.kernel
         self._next_pid = 1
         self._last_running: Process | None = None
 
@@ -84,6 +77,10 @@ class Porsche:
             config=self.config,
             coprocessor=self.coprocessor,
         )
+        # The process's stat bag is the trace counter sink's view, so
+        # event-derived attribution lands where callers have always
+        # looked for it.
+        process.stats = self.trace.counters.process(pid)
         self.processes[pid] = process
         self.scheduler.add(process)
         return process
@@ -116,8 +113,7 @@ class Porsche:
     # -------------------------------------------------------------------
     def _run_quantum(self, process: Process) -> None:
         self._switch_to(process)
-        self.stats.quanta += 1
-        process.stats.quanta += 1
+        self.trace.quantum_start(process.pid)
         budget = self.config.quantum_cycles
         while budget > 0 and process.alive:
             try:
@@ -127,13 +123,13 @@ class Porsche:
                 # process (the moral equivalent of SIGSEGV), not the kernel.
                 self._kill(process, str(error))
                 break
-            self._charge_cpu(process, result.cycles)
+            self._charge_cpu(process, result)
             budget -= result.cycles
             event = result.event
             if event is None:
                 # Budget exhausted: the timer interrupt pre-empts the
                 # process (possibly mid custom-instruction, §4.4).
-                self.stats.timer_interrupts += 1
+                self.trace.timer_interrupt(process.pid)
                 break
             if isinstance(event, ExitTrap):
                 self._finish(process, status=event.status)
@@ -165,7 +161,7 @@ class Porsche:
             self._last_running.coproc_context = self.coprocessor.save_context()
         self.coprocessor.restore_context(process.coproc_context)
         self._charge_kernel(process, self.config.context_switch_cycles)
-        self.stats.context_switches += 1
+        self.trace.context_switch(process.pid)
         self.on_context_switch(process)
         self._last_running = process
 
@@ -182,8 +178,7 @@ class Porsche:
     def _syscall(self, process: Process, number: int, budget: int) -> int:
         """Handle a syscall; returns cycles charged."""
         cycles = self.config.syscall_cycles
-        self.stats.syscalls += 1
-        process.stats.syscalls += 1
+        self.trace.syscall(process.pid, number)
         regs = process.cpu_state.regs
         try:
             call = Syscall(number)
@@ -245,7 +240,7 @@ class Porsche:
             self._kill(process, killed.reason)
             return self.config.fault_entry_cycles
         self._charge_kernel(process, cycles)
-        self.stats.record_fault(action)
+        self.trace.fault(process.pid, fault.cid, action, cycles)
         return cycles
 
     # ------------------------------------------------------------------
@@ -255,28 +250,27 @@ class Porsche:
         process.state = ProcessState.EXITED
         process.exit_status = status
         process.completion_cycle = self.clock
+        self.trace.process_exit(process.pid, status=status)
         cycles = self.cis.process_exit(process)
         self.clock += cycles
-        self.stats.total_cycles = self.clock
+        self.trace.kernel_charge(process.pid, cycles, source="exit")
 
     def _kill(self, process: Process, reason: str) -> None:
         process.state = ProcessState.KILLED
         process.kill_reason = reason
         process.completion_cycle = self.clock
-        self.stats.kills += 1
+        self.trace.process_exit(process.pid, killed=True, reason=reason)
         cycles = self.cis.process_exit(process)
         self.clock += cycles
-        self.stats.total_cycles = self.clock
+        self.trace.kernel_charge(process.pid, cycles, source="exit")
 
     # -------------------------------------------------------------------
     # accounting
     # -------------------------------------------------------------------
-    def _charge_cpu(self, process: Process, cycles: int) -> None:
-        self.clock += cycles
-        process.stats.cpu_cycles += cycles
-        self.stats.total_cycles = self.clock
+    def _charge_cpu(self, process: Process, result) -> None:
+        self.clock += result.cycles
+        self.trace.cpu_burst(process.pid, result.cycles, result.instructions)
 
     def _charge_kernel(self, process: Process, cycles: int) -> None:
         self.clock += cycles
-        process.stats.kernel_cycles += cycles
-        self.stats.total_cycles = self.clock
+        self.trace.kernel_charge(process.pid, cycles)

@@ -16,6 +16,15 @@ from ..cpu.isa import code_address
 from ..cpu.memory import Memory
 from ..cpu.program import Program
 from ..errors import KernelError
+from ..trace.counters import ProcessStats  # re-export: the derived view
+
+__all__ = [
+    "Process",
+    "ProcessState",
+    "ProcessStats",
+    "Registration",
+    "create_process",
+]
 
 
 class ProcessState(enum.Enum):
@@ -47,23 +56,6 @@ class Registration:
 
 
 @dataclass
-class ProcessStats:
-    """Per-process accounting for the evaluation harness."""
-
-    cpu_cycles: int = 0
-    kernel_cycles: int = 0
-    quanta: int = 0
-    mapping_faults: int = 0
-    load_faults: int = 0
-    soft_deferrals: int = 0
-    syscalls: int = 0
-
-    @property
-    def total_cycles(self) -> int:
-        return self.cpu_cycles + self.kernel_cycles
-
-
-@dataclass
 class Process:
     """A POrSCHE process: program image + execution contexts + PCB."""
 
@@ -81,6 +73,8 @@ class Process:
     completion_cycle: int | None = None
     exit_status: int | None = None
     kill_reason: str | None = None
+    #: The trace counter sink's per-PID view; the kernel re-points this at
+    #: spawn so event-derived attribution lands here.
     stats: ProcessStats = field(default_factory=ProcessStats)
 
     @property

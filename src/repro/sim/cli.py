@@ -18,17 +18,19 @@ import argparse
 import sys
 import time
 
+from ..trace.sinks import JsonlSink, RingBufferSink
+from ..trace.timeline import TimelineAggregator
 from .experiment import ExperimentSpec, run_experiment
 from .figures import contention_knees, figure2, figure3, speedup_table
-from .report import render_figure, render_speedup, render_table
+from .report import render_figure, render_speedup, render_table, render_trace
 from .scaling import DEFAULT_SCALE
 
 
 def _progress(stream):
-    start = time.time()
+    start = time.perf_counter()
 
     def report(label: str, done: int, total: int) -> None:
-        elapsed = time.time() - start
+        elapsed = time.perf_counter() - start
         print(
             f"\r[{done:3d}/{total}] {elapsed:6.1f}s  {label:<40}",
             end="",
@@ -44,7 +46,10 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--scale", type=float, default=DEFAULT_SCALE,
         help="platform scale (1.0 = paper-faithful 100 MHz; default %(default)s)",
     )
-    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="experiment seed (default: the machine's built-in seed)",
+    )
     parser.add_argument(
         "--max-instances", type=int, default=8,
         help="sweep 1..N concurrent instances (default 8)",
@@ -108,6 +113,30 @@ def main(argv: list[str] | None = None) -> int:
         choices=("proteus", "prisc", "memmap"),
     )
 
+    pt = sub.add_parser(
+        "trace",
+        help="run one experiment point with event tracing and show "
+             "per-process attribution + FPL occupancy timelines",
+    )
+    _add_common(pt)
+    pt.add_argument("workload", choices=("echo", "alpha", "twofish"))
+    pt.add_argument("instances", type=int)
+    pt.add_argument("--quantum-ms", type=float, default=10.0)
+    pt.add_argument(
+        "--policy", default="round_robin",
+        choices=("round_robin", "random", "lru", "second_chance"),
+    )
+    pt.add_argument("--soft", action="store_true",
+                    help="defer to software alternatives when the array is full")
+    pt.add_argument(
+        "--jsonl", metavar="PATH",
+        help="also stream every event to PATH as JSON lines",
+    )
+    pt.add_argument(
+        "--events", type=int, default=8,
+        help="show the last N raw events (default 8; 0 disables)",
+    )
+
     args = parser.parse_args(argv)
     progress = None if args.quiet else _progress(sys.stderr)
 
@@ -153,7 +182,42 @@ def main(argv: list[str] | None = None) -> int:
         print(f"context sw    : {outcome.kernel_stats.context_switches}")
         print(f"faults        : {outcome.kernel_stats.fault_actions}")
         for key, value in outcome.cis.items():
-            print(f"cis.{key:<18}: {value:,}")
+            print(f"cis.{key:<22}: {value:,}")
+    elif args.command == "trace":
+        spec = ExperimentSpec(
+            workload=args.workload,
+            instances=args.instances,
+            quantum_ms=args.quantum_ms,
+            policy=args.policy,
+            soft=args.soft,
+            scale=args.scale,
+            seed=args.seed,
+        )
+        timeline = TimelineAggregator()
+        ring = RingBufferSink(capacity=max(args.events, 1))
+        sinks: list = [timeline, ring]
+        jsonl = None
+        if args.jsonl:
+            jsonl = JsonlSink(args.jsonl)
+            sinks.append(jsonl)
+        try:
+            outcome = run_experiment(spec, verify=args.verify, sinks=sinks)
+        finally:
+            if jsonl is not None:
+                jsonl.close()
+        timeline.close(outcome.makespan)
+        print(f"workload      : {spec.workload} x{spec.instances}")
+        print(f"makespan      : {outcome.makespan:,} cycles")
+        print()
+        print(render_trace(timeline, pfu_count=spec.pfu_count))
+        if args.events:
+            print()
+            print(f"Last {min(args.events, len(ring))} of "
+                  f"{ring.seen:,} events:")
+            for event in ring:
+                print(f"  @{event.cycle:<12,} {event.to_dict()}")
+        if args.jsonl:
+            print(f"\nJSONL event stream written to {args.jsonl}")
     return 0
 
 

@@ -10,8 +10,9 @@ reference models, and returns the makespan with full statistics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from functools import lru_cache
+from typing import Sequence
 
 from ..apps.registry import get_workload
 from ..apps.workloads import WorkloadVariant
@@ -48,7 +49,10 @@ class ExperimentSpec:
     #: Explicit per-instance item count; defaults to the workload's
     #: paper-scale count shrunk by ``scale``.
     items: int | None = None
-    seed: int = 0
+    #: ``None`` selects the defaults (``MachineConfig.seed`` for the
+    #: machine, 0 for program data and the policy); an explicit value —
+    #: including 0 — is honoured everywhere.
+    seed: int | None = None
     pfu_count: int = 4
     tlb_entries: int = 16
     promote_on_free: bool = False
@@ -68,6 +72,11 @@ class ExperimentSpec:
             return self.items
         return get_workload(self.workload).items_for_scale(self.scale)
 
+    @property
+    def data_seed(self) -> int:
+        """Seed for program data and the replacement policy."""
+        return 0 if self.seed is None else self.seed
+
     def build_config(self) -> MachineConfig:
         config = scaled_config(
             self.scale,
@@ -77,7 +86,9 @@ class ExperimentSpec:
             prefer_software_when_full=self.soft,
             promote_on_free=self.promote_on_free,
             allow_sharing=self.allow_sharing,
-            seed=self.seed or MachineConfig.seed,  # keep a nonzero default
+            # None is the sentinel for "use the default machine seed";
+            # an explicit 0 is a real seed and must not be replaced.
+            seed=MachineConfig.seed if self.seed is None else self.seed,
         )
         if self.architecture == "memmap":
             config = memmap_config(config)
@@ -123,19 +134,30 @@ def _cached_program(
 def build_kernel(spec: ExperimentSpec) -> Porsche:
     """Construct the kernel (or baseline kernel) for a spec."""
     config = spec.build_config()
-    policy = make_policy(spec.policy, seed=spec.seed + 0x5EED)
+    policy = make_policy(spec.policy, seed=spec.data_seed + 0x5EED)
     if spec.architecture == "prisc":
         return PriscPorsche(config, policy)
     return Porsche(config, policy)
 
 
-def run_experiment(spec: ExperimentSpec, verify: bool = True) -> RunOutcome:
-    """Run one experiment point to completion."""
+def run_experiment(
+    spec: ExperimentSpec,
+    verify: bool = True,
+    sinks: Sequence = (),
+) -> RunOutcome:
+    """Run one experiment point to completion.
+
+    ``sinks`` — trace event sinks (ring buffers, JSONL writers, timeline
+    aggregators) attached to the machine's event bus before any process
+    is spawned, so they observe the complete run.
+    """
     kernel = build_kernel(spec)
+    for sink in sinks:
+        kernel.trace.attach(sink)
     items = spec.resolve_items()
     workload = get_workload(spec.workload)
     program = _cached_program(
-        spec.workload, items, spec.variant, spec.register_soft, spec.seed
+        spec.workload, items, spec.variant, spec.register_soft, spec.data_seed
     )
     processes = [kernel.spawn(program) for _ in range(spec.instances)]
     kernel.run()
@@ -152,7 +174,7 @@ def run_experiment(spec: ExperimentSpec, verify: bool = True) -> RunOutcome:
 
     verified = True
     if verify:
-        expected = workload.expected(items, seed=spec.seed)
+        expected = workload.expected(items, seed=spec.data_seed)
         for process in processes:
             if process.read_result(workload.result_name) != expected:
                 verified = False
@@ -160,25 +182,13 @@ def run_experiment(spec: ExperimentSpec, verify: bool = True) -> RunOutcome:
                     f"{spec.workload} pid={process.pid} produced wrong output"
                 )
 
-    cis_stats = kernel.cis.stats
     return RunOutcome(
         spec=spec,
         makespan=max(completions),
         completions=completions,
         verified=verified,
         kernel_stats=kernel.stats,
-        cis={
-            "loads": cis_stats.loads,
-            "evictions": cis_stats.evictions,
-            "mapping_faults": cis_stats.mapping_faults,
-            "soft_deferrals": cis_stats.soft_deferrals,
-            "soft_remaps": cis_stats.soft_remaps,
-            "state_swaps": cis_stats.state_swaps,
-            "promotions": cis_stats.promotions,
-            "static_bytes_moved": cis_stats.static_bytes_moved,
-            "state_bytes_moved": cis_stats.state_bytes_moved,
-            "kernel_cycles": cis_stats.kernel_cycles,
-        },
+        cis=asdict(kernel.cis.stats),
         process_cycles=[
             (p.stats.cpu_cycles, p.stats.kernel_cycles) for p in processes
         ],

@@ -65,7 +65,7 @@ def figure2(
     workloads: Sequence[str] = ("echo", "alpha", "twofish"),
     quanta: Sequence[float] = (10.0, 1.0),
     policies: Sequence[str] = ("round_robin", "random"),
-    seed: int = 0,
+    seed: int | None = None,
     verify: bool = False,
     progress: ProgressFn | None = None,
 ) -> FigureData:
@@ -109,7 +109,7 @@ def figure3(
     instances: Iterable[int] = range(1, 9),
     workloads: Sequence[str] = ("echo", "alpha"),
     quanta: Sequence[float] = (10.0, 1.0),
-    seed: int = 0,
+    seed: int | None = None,
     verify: bool = False,
     progress: ProgressFn | None = None,
 ) -> FigureData:
@@ -152,7 +152,7 @@ def figure3(
 def speedup_table(
     scale: float = DEFAULT_SCALE,
     workloads: Sequence[str] = ("echo", "alpha", "twofish"),
-    seed: int = 0,
+    seed: int | None = None,
     verify: bool = True,
 ) -> FigureData:
     """§5.1.1's claim: accelerated runs beat unaccelerated by ~10x.

@@ -7,6 +7,7 @@ and a rough ASCII plot shows the shapes (knees, orderings) at a glance.
 
 from __future__ import annotations
 
+from ..trace.timeline import TimelineAggregator
 from .series import FigureData
 
 #: Symbols assigned to series in an ASCII plot.
@@ -76,6 +77,66 @@ def render_figure(figure: FigureData, width: int = 72, height: int = 20) -> str:
     for index, series in enumerate(figure.series):
         symbol = _SYMBOLS[index % len(_SYMBOLS)]
         lines.append(f"  {symbol}  {series.label}")
+    return "\n".join(lines)
+
+
+def render_trace(
+    timeline: TimelineAggregator,
+    pfu_count: int | None = None,
+    bar_width: int = 40,
+) -> str:
+    """Render a run's timeline: cycle attribution + FPL occupancy.
+
+    ``timeline`` must already be closed (:meth:`TimelineAggregator.close`)
+    so open residency segments have an end cycle.
+    """
+    horizon = timeline.last_cycle
+    lines = ["Per-process cycle attribution", "=" * 29]
+    lines.append(
+        f"{'pid':>4} {'cpu':>12} {'kernel':>10} {'total':>12} "
+        f"{'quanta':>7} {'syscalls':>8} {'faults':>22} {'exit':>12}"
+    )
+    for pid in sorted(timeline.processes):
+        p = timeline.processes[pid]
+        faults = ",".join(
+            f"{action}:{count}" for action, count in sorted(p.faults.items())
+        ) or "-"
+        exit_text = "-" if p.exit_cycle is None else f"{p.exit_cycle:,}"
+        if p.killed:
+            exit_text += " (killed)"
+        lines.append(
+            f"{pid:>4} {p.cpu_cycles:>12,} {p.kernel_cycles:>10,} "
+            f"{p.total_cycles:>12,} {p.quanta:>7} {p.syscalls:>8} "
+            f"{faults:>22} {exit_text:>12}"
+        )
+    d = timeline.dispatch
+    lines.append("")
+    lines.append(
+        f"dispatch: {d['hit']:,} hardware / {d['soft']:,} software / "
+        f"{d['fault']:,} faulted"
+    )
+
+    lines.append("")
+    lines.append("FPL occupancy")
+    lines.append("=" * 13)
+    by_pfu = timeline.occupancy_by_pfu()
+    pfus = sorted(by_pfu)
+    if pfu_count is not None:
+        pfus = list(range(pfu_count))
+    for pfu in pfus:
+        utilisation = timeline.utilisation(pfu, horizon)
+        filled = round(utilisation * bar_width)
+        bar = "#" * filled + "." * (bar_width - filled)
+        lines.append(f"PFU {pfu}  [{bar}] {utilisation:6.1%}")
+        for segment in by_pfu.get(pfu, []):
+            end = segment.end if segment.end is not None else horizon
+            lines.append(
+                f"        {segment.start:>12,} - {end:<12,} "
+                f"{segment.circuit} (pid {segment.pid})"
+            )
+    if horizon:
+        lines.append(f"\nhorizon: {horizon:,} cycles, "
+                     f"{timeline.events_seen:,} events")
     return "\n".join(lines)
 
 

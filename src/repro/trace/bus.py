@@ -1,0 +1,210 @@
+"""The machine event bus.
+
+One :class:`TraceBus` instance is shared by every layer of a simulated
+machine — kernel, CIS, coprocessor dispatch — and is the single channel
+through which accounting leaves the hot paths.  It fans out to two tiers
+of subscriber:
+
+* the **counter tier** — a :class:`~repro.trace.counters.CounterSink`
+  attached at construction, fed scalar callbacks.  This is always on
+  (the legacy stats objects are views over it) and allocates nothing.
+* the **event tier** — zero or more sinks attached with :meth:`attach`
+  (ring buffers, JSONL writers, timeline aggregators).  Typed
+  :mod:`~repro.trace.events` objects are constructed *only* while at
+  least one event sink is subscribed; with the tier empty every emit is
+  a bool test plus one scalar call, so tracing costs nothing when it is
+  off.
+
+The kernel binds the bus to its clock with :meth:`bind_clock`; cycle
+stamps on recorded events come from that callable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from . import events as ev
+from .counters import CounterSink
+
+__all__ = ["TraceBus", "EventSink"]
+
+
+class EventSink(Protocol):
+    """Anything that consumes typed trace events."""
+
+    def on_event(self, event: ev.TraceEvent) -> None: ...
+
+
+def _clock_unbound() -> int:
+    return 0
+
+
+class TraceBus:
+    """Typed emit surface + two-tier fan-out.  See module docstring."""
+
+    __slots__ = ("counters", "recording", "_sinks", "_now")
+
+    def __init__(self, counters: CounterSink | None = None) -> None:
+        self.counters = counters if counters is not None else CounterSink()
+        self._sinks: tuple[EventSink, ...] = ()
+        #: True while at least one event sink is attached.  Emit sites in
+        #: other layers may consult this to skip building event payloads.
+        self.recording = False
+        self._now: Callable[[], int] = _clock_unbound
+
+    # ---- wiring ------------------------------------------------------------
+    def bind_clock(self, now: Callable[[], int]) -> None:
+        """Provide the cycle source used to stamp recorded events."""
+        self._now = now
+
+    def attach(self, sink: EventSink) -> EventSink:
+        """Subscribe an event sink; returns it for chaining."""
+        self._sinks = self._sinks + (sink,)
+        self.recording = True
+        return sink
+
+    def detach(self, sink: EventSink) -> None:
+        self._sinks = tuple(s for s in self._sinks if s is not sink)
+        self.recording = bool(self._sinks)
+
+    @property
+    def sinks(self) -> tuple[EventSink, ...]:
+        return self._sinks
+
+    def _record(self, event: ev.TraceEvent) -> None:
+        for sink in self._sinks:
+            sink.on_event(event)
+
+    # ---- kernel scheduling --------------------------------------------------
+    def quantum_start(self, pid: int) -> None:
+        self.counters.on_quantum_start(pid)
+        if self.recording:
+            self._record(ev.QuantumStart(self._now(), pid))
+
+    def timer_interrupt(self, pid: int) -> None:
+        self.counters.on_timer_interrupt(pid)
+        if self.recording:
+            self._record(ev.TimerInterrupt(self._now(), pid))
+
+    def context_switch(self, pid: int) -> None:
+        self.counters.on_context_switch(pid)
+        if self.recording:
+            self._record(ev.ContextSwitch(self._now(), pid))
+
+    # ---- traps --------------------------------------------------------------
+    def syscall(self, pid: int, number: int) -> None:
+        self.counters.on_syscall(pid, number)
+        if self.recording:
+            self._record(ev.SyscallEvent(self._now(), pid, number))
+
+    def fault(self, pid: int, cid: int, action: str, cycles: int) -> None:
+        self.counters.on_fault(pid, cid, action, cycles)
+        if self.recording:
+            self._record(ev.FaultEvent(self._now(), pid, cid, action, cycles))
+
+    def dispatch_resolved(self, pid: int, cid: int, outcome: str) -> None:
+        self.counters.on_dispatch(pid, cid, outcome)
+        if self.recording:
+            self._record(ev.DispatchResolved(self._now(), pid, cid, outcome))
+
+    # ---- CIS management ------------------------------------------------------
+    def registered(self, pid: int, cid: int) -> None:
+        self.counters.on_registered(pid, cid)
+        if self.recording:
+            self._record(ev.Registered(self._now(), pid, cid))
+
+    def registration_rejected(self, pid: int, cid: int) -> None:
+        self.counters.on_registration_rejected(pid, cid)
+        if self.recording:
+            self._record(ev.RegistrationRejected(self._now(), pid, cid))
+
+    def mapping_fault(self, pid: int, cid: int) -> None:
+        self.counters.on_mapping_fault(pid, cid)
+        if self.recording:
+            self._record(ev.MappingFault(self._now(), pid, cid))
+
+    def load_fault(self, pid: int, cid: int) -> None:
+        self.counters.on_load_fault(pid, cid)
+        if self.recording:
+            self._record(ev.LoadFault(self._now(), pid, cid))
+
+    def soft_defer(self, pid: int, cid: int, remap: bool) -> None:
+        self.counters.on_soft_defer(pid, cid, remap)
+        if self.recording:
+            self._record(ev.SoftDefer(self._now(), pid, cid, remap))
+
+    def circuit_load(
+        self,
+        pid: int,
+        cid: int,
+        pfu: int,
+        circuit: str,
+        static_bytes: int,
+        state_bytes: int,
+    ) -> None:
+        self.counters.on_circuit_load(pid, cid, pfu, static_bytes, state_bytes)
+        if self.recording:
+            self._record(
+                ev.CircuitLoad(
+                    self._now(), pid, cid, pfu, circuit, static_bytes,
+                    state_bytes,
+                )
+            )
+
+    def circuit_evict(
+        self, pid: int, pfu: int, circuit: str, state_bytes: int
+    ) -> None:
+        self.counters.on_circuit_evict(pid, pfu, state_bytes)
+        if self.recording:
+            self._record(
+                ev.CircuitEvict(self._now(), pid, pfu, circuit, state_bytes)
+            )
+
+    def circuit_unload(self, pid: int, pfu: int, circuit: str) -> None:
+        self.counters.on_circuit_unload(pid, pfu)
+        if self.recording:
+            self._record(ev.CircuitUnload(self._now(), pid, pfu, circuit))
+
+    def circuit_promote(self, pid: int, cid: int, pfu: int) -> None:
+        self.counters.on_circuit_promote(pid, cid, pfu)
+        if self.recording:
+            self._record(ev.CircuitPromote(self._now(), pid, cid, pfu))
+
+    def state_swap(self, pid: int, cid: int, pfu: int) -> None:
+        self.counters.on_state_swap(pid, cid, pfu)
+        if self.recording:
+            self._record(ev.StateSwap(self._now(), pid, cid, pfu))
+
+    def cis_charge(self, cycles: int) -> None:
+        self.counters.on_cis_charge(cycles)
+        if self.recording:
+            self._record(ev.CisCharge(self._now(), -1, cycles))
+
+    def cis_kill(self, pid: int) -> None:
+        self.counters.on_cis_kill(pid)
+        if self.recording:
+            self._record(ev.CisKill(self._now(), pid))
+
+    # ---- cycle charges and termination ---------------------------------------
+    def cpu_burst(self, pid: int, cycles: int, instructions: int) -> None:
+        self.counters.on_cpu_burst(pid, cycles, instructions)
+        if self.recording:
+            self._record(ev.CpuBurst(self._now(), pid, cycles, instructions))
+
+    def kernel_charge(self, pid: int, cycles: int, source: str = "kernel") -> None:
+        self.counters.on_kernel_charge(pid, cycles, source)
+        if self.recording:
+            self._record(ev.KernelCharge(self._now(), pid, cycles, source))
+
+    def process_exit(
+        self,
+        pid: int,
+        status: int | None = None,
+        killed: bool = False,
+        reason: str | None = None,
+    ) -> None:
+        self.counters.on_process_exit(pid, status, killed, reason)
+        if self.recording:
+            self._record(
+                ev.ProcessExit(self._now(), pid, status, killed, reason)
+            )

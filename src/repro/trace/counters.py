@@ -1,0 +1,242 @@
+"""Counter views over the event stream.
+
+The legacy stat bags (``KernelStats``, ``CISStats``, ``ProcessStats``)
+are defined here and rebuilt by :class:`CounterSink`, the always-on
+subscriber every :class:`~repro.trace.bus.TraceBus` carries.  The kernel,
+CIS and dispatch unit no longer mutate counters inline — they emit, and
+the sink derives.  ``kernel/porsche.py``, ``kernel/cis.py`` and
+``kernel/process.py`` re-export the dataclasses so existing imports keep
+working.
+
+The counter fan-out is the bus's hot path: every callback takes scalars
+and allocates nothing, which is what keeps tracing free when no event
+sink is attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import events as ev
+
+__all__ = ["KernelStats", "CISStats", "ProcessStats", "CounterSink"]
+
+
+@dataclass
+class KernelStats:
+    """Run-level accounting, derived from the event stream."""
+
+    total_cycles: int = 0
+    quanta: int = 0
+    context_switches: int = 0
+    timer_interrupts: int = 0
+    syscalls: int = 0
+    faults: int = 0
+    fault_actions: dict[str, int] = field(default_factory=dict)
+    kills: int = 0
+
+    def record_fault(self, action: str) -> None:
+        self.faults += 1
+        self.fault_actions[action] = self.fault_actions.get(action, 0) + 1
+
+
+@dataclass
+class CISStats:
+    """Management-cost accounting across a whole run."""
+
+    registrations: int = 0
+    rejected_registrations: int = 0
+    mapping_faults: int = 0
+    loads: int = 0
+    evictions: int = 0
+    soft_deferrals: int = 0
+    soft_remaps: int = 0
+    state_swaps: int = 0
+    promotions: int = 0
+    kills: int = 0
+    static_bytes_moved: int = 0
+    state_bytes_moved: int = 0
+    kernel_cycles: int = 0
+
+    @property
+    def total_bytes_moved(self) -> int:
+        return self.static_bytes_moved + self.state_bytes_moved
+
+
+@dataclass
+class ProcessStats:
+    """Per-process accounting for the evaluation harness."""
+
+    cpu_cycles: int = 0
+    kernel_cycles: int = 0
+    instructions: int = 0
+    quanta: int = 0
+    mapping_faults: int = 0
+    load_faults: int = 0
+    soft_deferrals: int = 0
+    syscalls: int = 0
+
+    @property
+    def total_cycles(self) -> int:
+        return self.cpu_cycles + self.kernel_cycles
+
+
+class CounterSink:
+    """Rebuilds the legacy stat bags from bus callbacks.
+
+    One instance is attached to every bus by construction; the kernel
+    aliases ``Porsche.stats``, ``CustomInstructionScheduler.stats`` and
+    each ``Process.stats`` to the objects owned here, so the derived
+    views are reachable exactly where the inline counters used to live.
+
+    :meth:`consume` applies one recorded :class:`TraceEvent`; replaying a
+    complete stream through a fresh sink reproduces a live sink's state.
+    """
+
+    __slots__ = ("kernel", "cis", "dispatch", "_process")
+
+    def __init__(self) -> None:
+        self.kernel = KernelStats()
+        self.cis = CISStats()
+        #: Decode-stage resolutions by outcome (``hit``/``soft``/``fault``).
+        self.dispatch: dict[str, int] = {"hit": 0, "soft": 0, "fault": 0}
+        self._process: dict[int, ProcessStats] = {}
+
+    def process(self, pid: int) -> ProcessStats:
+        stats = self._process.get(pid)
+        if stats is None:
+            stats = self._process[pid] = ProcessStats()
+        return stats
+
+    @property
+    def processes(self) -> dict[int, ProcessStats]:
+        return self._process
+
+    # ---- kernel scheduling ------------------------------------------------
+    def on_quantum_start(self, pid: int) -> None:
+        self.kernel.quanta += 1
+        self.process(pid).quanta += 1
+
+    def on_timer_interrupt(self, pid: int) -> None:
+        self.kernel.timer_interrupts += 1
+
+    def on_context_switch(self, pid: int) -> None:
+        self.kernel.context_switches += 1
+
+    # ---- traps ------------------------------------------------------------
+    def on_syscall(self, pid: int, number: int) -> None:
+        self.kernel.syscalls += 1
+        self.process(pid).syscalls += 1
+
+    def on_fault(self, pid: int, cid: int, action: str, cycles: int) -> None:
+        self.kernel.record_fault(action)
+
+    def on_dispatch(self, pid: int, cid: int, outcome: str) -> None:
+        self.dispatch[outcome] += 1
+
+    # ---- CIS management ---------------------------------------------------
+    def on_registered(self, pid: int, cid: int) -> None:
+        self.cis.registrations += 1
+
+    def on_registration_rejected(self, pid: int, cid: int) -> None:
+        self.cis.rejected_registrations += 1
+
+    def on_mapping_fault(self, pid: int, cid: int) -> None:
+        self.cis.mapping_faults += 1
+        self.process(pid).mapping_faults += 1
+
+    def on_load_fault(self, pid: int, cid: int) -> None:
+        self.process(pid).load_faults += 1
+
+    def on_soft_defer(self, pid: int, cid: int, remap: bool) -> None:
+        if remap:
+            self.cis.soft_remaps += 1
+        else:
+            self.cis.soft_deferrals += 1
+        self.process(pid).soft_deferrals += 1
+
+    def on_circuit_load(
+        self, pid: int, cid: int, pfu: int, static_bytes: int, state_bytes: int
+    ) -> None:
+        self.cis.loads += 1
+        self.cis.static_bytes_moved += static_bytes
+        self.cis.state_bytes_moved += state_bytes
+
+    def on_circuit_evict(self, pid: int, pfu: int, state_bytes: int) -> None:
+        self.cis.evictions += 1
+        self.cis.state_bytes_moved += state_bytes
+
+    def on_circuit_unload(self, pid: int, pfu: int) -> None:
+        pass  # exit-time cleanup moves no state and is not an eviction
+
+    def on_circuit_promote(self, pid: int, cid: int, pfu: int) -> None:
+        self.cis.promotions += 1
+
+    def on_state_swap(self, pid: int, cid: int, pfu: int) -> None:
+        self.cis.state_swaps += 1
+
+    def on_cis_charge(self, cycles: int) -> None:
+        self.cis.kernel_cycles += cycles
+
+    def on_cis_kill(self, pid: int) -> None:
+        self.cis.kills += 1
+
+    # ---- cycle charges and termination -------------------------------------
+    def on_cpu_burst(self, pid: int, cycles: int, instructions: int) -> None:
+        self.kernel.total_cycles += cycles
+        stats = self.process(pid)
+        stats.cpu_cycles += cycles
+        stats.instructions += instructions
+
+    def on_kernel_charge(self, pid: int, cycles: int, source: str) -> None:
+        self.kernel.total_cycles += cycles
+        if source == "kernel":
+            self.process(pid).kernel_cycles += cycles
+
+    def on_process_exit(
+        self, pid: int, status: int | None, killed: bool, reason: str | None
+    ) -> None:
+        if killed:
+            self.kernel.kills += 1
+
+    # ---- replay ------------------------------------------------------------
+    def consume(self, event: ev.TraceEvent) -> None:
+        """Apply one recorded event, as the live counter path would."""
+        handler = _REPLAY.get(type(event))
+        if handler is not None:
+            handler(self, event)
+
+
+_REPLAY = {
+    ev.QuantumStart: lambda s, e: s.on_quantum_start(e.pid),
+    ev.TimerInterrupt: lambda s, e: s.on_timer_interrupt(e.pid),
+    ev.ContextSwitch: lambda s, e: s.on_context_switch(e.pid),
+    ev.SyscallEvent: lambda s, e: s.on_syscall(e.pid, e.number),
+    ev.FaultEvent: lambda s, e: s.on_fault(e.pid, e.cid, e.action, e.cycles),
+    ev.DispatchResolved: lambda s, e: s.on_dispatch(e.pid, e.cid, e.outcome),
+    ev.Registered: lambda s, e: s.on_registered(e.pid, e.cid),
+    ev.RegistrationRejected: lambda s, e: s.on_registration_rejected(
+        e.pid, e.cid
+    ),
+    ev.MappingFault: lambda s, e: s.on_mapping_fault(e.pid, e.cid),
+    ev.LoadFault: lambda s, e: s.on_load_fault(e.pid, e.cid),
+    ev.SoftDefer: lambda s, e: s.on_soft_defer(e.pid, e.cid, e.remap),
+    ev.CircuitLoad: lambda s, e: s.on_circuit_load(
+        e.pid, e.cid, e.pfu, e.static_bytes, e.state_bytes
+    ),
+    ev.CircuitEvict: lambda s, e: s.on_circuit_evict(
+        e.pid, e.pfu, e.state_bytes
+    ),
+    ev.CircuitUnload: lambda s, e: s.on_circuit_unload(e.pid, e.pfu),
+    ev.CircuitPromote: lambda s, e: s.on_circuit_promote(e.pid, e.cid, e.pfu),
+    ev.StateSwap: lambda s, e: s.on_state_swap(e.pid, e.cid, e.pfu),
+    ev.CpuBurst: lambda s, e: s.on_cpu_burst(e.pid, e.cycles, e.instructions),
+    ev.KernelCharge: lambda s, e: s.on_kernel_charge(
+        e.pid, e.cycles, e.source
+    ),
+    ev.CisCharge: lambda s, e: s.on_cis_charge(e.cycles),
+    ev.CisKill: lambda s, e: s.on_cis_kill(e.pid),
+    ev.ProcessExit: lambda s, e: s.on_process_exit(
+        e.pid, e.status, e.killed, e.reason
+    ),
+}

@@ -1,0 +1,275 @@
+"""Typed, cycle-stamped machine events.
+
+Every accounting-relevant moment in the simulated machine — quanta,
+context switches, traps, dispatch resolutions, configuration movement,
+process termination — is modelled as one small frozen dataclass.  The
+event stream is *complete*: a :class:`~repro.trace.counters.CounterSink`
+replayed over a recorded stream reconstructs every legacy statistic
+exactly (``tests/test_trace.py`` checks this on a mixed workload).
+
+Events are only ever *constructed* when at least one event sink is
+attached to the :class:`~repro.trace.bus.TraceBus`; the counter fan-out
+path passes scalars and allocates nothing.
+
+``cycle`` is the kernel clock when the event was emitted.  Events raised
+from inside a CPU burst (``DispatchResolved``) are stamped with the
+clock at burst entry — the kernel charges burst cycles only when the
+burst returns — so cycle stamps are monotonically non-decreasing rather
+than instruction-exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+__all__ = [
+    "TraceEvent",
+    "QuantumStart",
+    "TimerInterrupt",
+    "ContextSwitch",
+    "SyscallEvent",
+    "FaultEvent",
+    "DispatchResolved",
+    "Registered",
+    "RegistrationRejected",
+    "MappingFault",
+    "LoadFault",
+    "SoftDefer",
+    "CircuitLoad",
+    "CircuitEvict",
+    "CircuitUnload",
+    "CircuitPromote",
+    "StateSwap",
+    "CpuBurst",
+    "KernelCharge",
+    "CisCharge",
+    "CisKill",
+    "ProcessExit",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """Base class: every event is cycle-stamped and PID-attributed."""
+
+    cycle: int
+    pid: int
+
+    #: Short machine-readable tag used by JSONL export and renderers.
+    kind = "event"
+
+    def to_dict(self) -> dict:
+        record = {"kind": self.kind}
+        record.update(asdict(self))
+        return record
+
+
+# ---------------------------------------------------------------------------
+# kernel scheduling
+
+
+@dataclass(frozen=True, slots=True)
+class QuantumStart(TraceEvent):
+    """A process was handed a fresh scheduling quantum."""
+
+    kind = "quantum_start"
+
+
+@dataclass(frozen=True, slots=True)
+class TimerInterrupt(TraceEvent):
+    """The quantum budget expired and the timer pre-empted the process."""
+
+    kind = "timer_interrupt"
+
+
+@dataclass(frozen=True, slots=True)
+class ContextSwitch(TraceEvent):
+    """The coprocessor context was switched to ``pid``."""
+
+    kind = "context_switch"
+
+
+# ---------------------------------------------------------------------------
+# traps
+
+
+@dataclass(frozen=True, slots=True)
+class SyscallEvent(TraceEvent):
+    """A SWI trap entered the kernel."""
+
+    number: int
+    kind = "syscall"
+
+
+@dataclass(frozen=True, slots=True)
+class FaultEvent(TraceEvent):
+    """A custom-instruction fault was resolved by the CIS.
+
+    ``action`` is the Figure 1 policy outcome: ``mapping``, ``load``,
+    ``share``, ``soft`` or ``swap``.  ``cycles`` is the full cost the
+    handler charged, transfers included.
+    """
+
+    cid: int
+    action: str
+    cycles: int
+    kind = "fault"
+
+
+@dataclass(frozen=True, slots=True)
+class DispatchResolved(TraceEvent):
+    """Decode-stage resolution of an execute instruction (Figure 1).
+
+    ``outcome`` is ``hit`` (hardware PFU), ``soft`` (software
+    alternative) or ``fault`` (trap to the OS).
+    """
+
+    cid: int
+    outcome: str
+    kind = "dispatch"
+
+
+# ---------------------------------------------------------------------------
+# CIS management
+
+
+@dataclass(frozen=True, slots=True)
+class Registered(TraceEvent):
+    """A circuit (or alias) registration was accepted."""
+
+    cid: int
+    kind = "registered"
+
+
+@dataclass(frozen=True, slots=True)
+class RegistrationRejected(TraceEvent):
+    """A bitstream failed security validation."""
+
+    cid: int
+    kind = "registration_rejected"
+
+
+@dataclass(frozen=True, slots=True)
+class MappingFault(TraceEvent):
+    """Circuit still loaded; only its TLB tuple needed reinstalling."""
+
+    cid: int
+    kind = "mapping_fault"
+
+
+@dataclass(frozen=True, slots=True)
+class LoadFault(TraceEvent):
+    """A fault that required moving configuration data (load or swap)."""
+
+    cid: int
+    kind = "load_fault"
+
+
+@dataclass(frozen=True, slots=True)
+class SoftDefer(TraceEvent):
+    """The CIS mapped a software alternative instead of loading."""
+
+    cid: int
+    #: True when the tuple had already been software-mapped before.
+    remap: bool
+    kind = "soft_defer"
+
+
+@dataclass(frozen=True, slots=True)
+class CircuitLoad(TraceEvent):
+    """A circuit was transferred onto a PFU."""
+
+    cid: int
+    pfu: int
+    circuit: str
+    static_bytes: int
+    state_bytes: int
+    kind = "circuit_load"
+
+
+@dataclass(frozen=True, slots=True)
+class CircuitEvict(TraceEvent):
+    """A victim circuit's state section was saved off the array."""
+
+    pfu: int
+    circuit: str
+    state_bytes: int
+    kind = "circuit_evict"
+
+
+@dataclass(frozen=True, slots=True)
+class CircuitUnload(TraceEvent):
+    """A dead process's circuit left the array (no state saved)."""
+
+    pfu: int
+    circuit: str
+    kind = "circuit_unload"
+
+
+@dataclass(frozen=True, slots=True)
+class CircuitPromote(TraceEvent):
+    """A software-deferred circuit was promoted into a freed PFU."""
+
+    cid: int
+    pfu: int
+    kind = "circuit_promote"
+
+
+@dataclass(frozen=True, slots=True)
+class StateSwap(TraceEvent):
+    """Only a state section moved to hand a shared PFU to another PID."""
+
+    cid: int
+    pfu: int
+    kind = "state_swap"
+
+
+# ---------------------------------------------------------------------------
+# cycle charges and termination
+
+
+@dataclass(frozen=True, slots=True)
+class CpuBurst(TraceEvent):
+    """One bounded user-mode execution burst."""
+
+    cycles: int
+    instructions: int
+    kind = "cpu_burst"
+
+
+@dataclass(frozen=True, slots=True)
+class KernelCharge(TraceEvent):
+    """Kernel-mode cycles charged while handling ``pid``.
+
+    ``source`` is ``kernel`` for trap/switch handling charged to the
+    process, or ``exit`` for termination cleanup charged to no process.
+    """
+
+    cycles: int
+    source: str
+    kind = "kernel_charge"
+
+
+@dataclass(frozen=True, slots=True)
+class CisCharge(TraceEvent):
+    """Cycles attributed to the Custom Instruction Scheduler itself."""
+
+    cycles: int
+    kind = "cis_charge"
+
+
+@dataclass(frozen=True, slots=True)
+class CisKill(TraceEvent):
+    """The CIS condemned a process (illegal CID, hostile bitstream...)."""
+
+    kind = "cis_kill"
+
+
+@dataclass(frozen=True, slots=True)
+class ProcessExit(TraceEvent):
+    """A process left the machine."""
+
+    status: int | None
+    killed: bool
+    reason: str | None
+    kind = "process_exit"

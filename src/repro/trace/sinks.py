@@ -1,0 +1,88 @@
+"""Event sinks: bounded capture and line-oriented export.
+
+Sinks subscribe to a :class:`~repro.trace.bus.TraceBus` with
+``bus.attach(sink)`` and receive every typed event via ``on_event``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from collections.abc import Iterator
+from os import PathLike
+from typing import IO
+
+from .events import TraceEvent
+
+__all__ = ["RingBufferSink", "JsonlSink"]
+
+
+class RingBufferSink:
+    """Keeps the most recent ``capacity`` events in memory.
+
+    The bound makes it safe to leave attached across arbitrarily long
+    runs; a capacity large enough for the whole run turns it into a full
+    in-memory trace (the tests use it that way).
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("ring buffer capacity must be >= 1")
+        self.capacity = capacity
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        #: Total events observed, including ones the ring has dropped.
+        self.seen = 0
+
+    def on_event(self, event: TraceEvent) -> None:
+        self.seen += 1
+        self._events.append(event)
+
+    @property
+    def dropped(self) -> int:
+        return self.seen - len(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        return list(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.seen = 0
+
+
+class JsonlSink:
+    """Streams every event as one JSON object per line.
+
+    Accepts a path (opened and owned, closed by :meth:`close` or context
+    exit) or an already-open text handle (borrowed, left open).
+    """
+
+    def __init__(self, target: str | PathLike | IO[str]) -> None:
+        if hasattr(target, "write"):
+            self._handle: IO[str] = target  # type: ignore[assignment]
+            self._owns_handle = False
+        else:
+            self._handle = open(target, "w", encoding="utf-8")
+            self._owns_handle = True
+        self.written = 0
+
+    def on_event(self, event: TraceEvent) -> None:
+        self._handle.write(json.dumps(event.to_dict(), sort_keys=True))
+        self._handle.write("\n")
+        self.written += 1
+
+    def close(self) -> None:
+        if self._owns_handle and not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,147 @@
+"""Timeline aggregation: where did the cycles go, and when?
+
+:class:`TimelineAggregator` is an event sink that folds the stream into
+the two summaries the paper's analysis revolves around:
+
+* **per-process cycle attribution** — user cycles, kernel cycles,
+  quanta, syscalls and fault outcomes per PID, the "management overhead
+  erodes throughput" measurement of §5;
+* **FPL occupancy** — for every PFU, the sequence of residency segments
+  (which circuit, owned by which process, from which cycle to which),
+  i.e. the reconfiguration timeline of the array.
+
+``repro trace`` and :func:`repro.sim.report.render_trace` print both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import events as ev
+
+__all__ = ["TimelineAggregator", "OccupancySegment", "ProcessAttribution"]
+
+
+@dataclass
+class ProcessAttribution:
+    """Cycle attribution for one PID."""
+
+    pid: int
+    cpu_cycles: int = 0
+    kernel_cycles: int = 0
+    instructions: int = 0
+    quanta: int = 0
+    syscalls: int = 0
+    faults: dict[str, int] = field(default_factory=dict)
+    fault_cycles: int = 0
+    exit_cycle: int | None = None
+    killed: bool = False
+
+    @property
+    def total_cycles(self) -> int:
+        return self.cpu_cycles + self.kernel_cycles
+
+
+@dataclass
+class OccupancySegment:
+    """One circuit's residency interval on one PFU."""
+
+    pfu: int
+    circuit: str
+    pid: int
+    start: int
+    end: int | None = None  # None while still resident
+
+    def length(self, horizon: int) -> int:
+        end = self.end if self.end is not None else horizon
+        return max(0, end - self.start)
+
+
+class TimelineAggregator:
+    """Folds the event stream into attribution and occupancy timelines."""
+
+    def __init__(self) -> None:
+        self.processes: dict[int, ProcessAttribution] = {}
+        self.segments: list[OccupancySegment] = []
+        self._open: dict[int, OccupancySegment] = {}
+        self.dispatch: dict[str, int] = {"hit": 0, "soft": 0, "fault": 0}
+        self.last_cycle = 0
+        self.events_seen = 0
+
+    # ------------------------------------------------------------------
+    def _process(self, pid: int) -> ProcessAttribution:
+        attribution = self.processes.get(pid)
+        if attribution is None:
+            attribution = self.processes[pid] = ProcessAttribution(pid=pid)
+        return attribution
+
+    def on_event(self, event: ev.TraceEvent) -> None:
+        self.events_seen += 1
+        if event.cycle > self.last_cycle:
+            self.last_cycle = event.cycle
+        kind = type(event)
+        if kind is ev.CpuBurst:
+            attribution = self._process(event.pid)
+            attribution.cpu_cycles += event.cycles
+            attribution.instructions += event.instructions
+        elif kind is ev.KernelCharge:
+            if event.source == "kernel":
+                self._process(event.pid).kernel_cycles += event.cycles
+        elif kind is ev.QuantumStart:
+            self._process(event.pid).quanta += 1
+        elif kind is ev.SyscallEvent:
+            self._process(event.pid).syscalls += 1
+        elif kind is ev.FaultEvent:
+            attribution = self._process(event.pid)
+            faults = attribution.faults
+            faults[event.action] = faults.get(event.action, 0) + 1
+            attribution.fault_cycles += event.cycles
+        elif kind is ev.DispatchResolved:
+            self.dispatch[event.outcome] += 1
+        elif kind is ev.CircuitLoad:
+            self._close_segment(event.pfu, event.cycle)
+            segment = OccupancySegment(
+                pfu=event.pfu,
+                circuit=event.circuit,
+                pid=event.pid,
+                start=event.cycle,
+            )
+            self._open[event.pfu] = segment
+            self.segments.append(segment)
+        elif kind is ev.CircuitEvict or kind is ev.CircuitUnload:
+            self._close_segment(event.pfu, event.cycle)
+        elif kind is ev.ProcessExit:
+            attribution = self._process(event.pid)
+            attribution.exit_cycle = event.cycle
+            attribution.killed = event.killed
+
+    def _close_segment(self, pfu: int, cycle: int) -> None:
+        segment = self._open.pop(pfu, None)
+        if segment is not None:
+            segment.end = cycle
+
+    # ------------------------------------------------------------------
+    def close(self, horizon: int | None = None) -> None:
+        """Clamp still-open segments to ``horizon`` (default last event)."""
+        horizon = self.last_cycle if horizon is None else horizon
+        for segment in list(self._open.values()):
+            segment.end = horizon
+        self._open.clear()
+
+    def occupancy_by_pfu(self) -> dict[int, list[OccupancySegment]]:
+        by_pfu: dict[int, list[OccupancySegment]] = {}
+        for segment in self.segments:
+            by_pfu.setdefault(segment.pfu, []).append(segment)
+        return by_pfu
+
+    def utilisation(self, pfu: int, horizon: int | None = None) -> float:
+        """Fraction of the run a PFU spent holding some circuit."""
+        horizon = self.last_cycle if horizon is None else horizon
+        if horizon <= 0:
+            return 0.0
+        occupied = sum(
+            segment.length(horizon)
+            for segment in self.segments
+            if segment.pfu == pfu
+        )
+        return min(1.0, occupied / horizon)

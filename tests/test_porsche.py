@@ -190,6 +190,54 @@ class TestFaultsAndKills:
         assert "CLB" in process.kill_reason
 
 
+class TestStarvationGuard:
+    REGISTER_AND_CDP = """
+    main:
+        MOV r0, #1          ; CID
+        MOV r1, #0          ; table index
+        MOV r2, #0          ; no software alternative
+        SWI #1
+        MOV r4, #5          ; iterations
+        MOV r0, #3
+        MOV r1, #4
+        MCR f0, r0
+        MCR f1, r1
+    loop:
+        CDP #1, f2, f0, f1
+        SUB r4, r4, #1
+        CMP r4, #0
+        BNE loop
+        MRC r0, f2
+        SWI #0
+    """
+
+    def test_loads_longer_than_quantum_still_make_progress(self, config):
+        """Two processes on one PFU whose configuration loads outlast the
+        quantum must not evict each other's circuits forever: after a
+        fault handler consumes the whole quantum, the faulting
+        instruction retires at least one cycle before preemption."""
+        # 20-cycle quanta, 8 bytes/cycle config port: every load costs
+        # far more than a quantum, so each fault eats its whole quantum.
+        kernel = Porsche(
+            config.derive(
+                pfu_count=1, quantum_ms=0.02, config_bus_bytes_per_cycle=8
+            )
+        )
+        a = kernel.spawn(
+            program(self.REGISTER_AND_CDP, circuits=[adder_spec("c0")])
+        )
+        b = kernel.spawn(
+            program(self.REGISTER_AND_CDP, circuits=[adder_spec("c1")], name="q")
+        )
+        kernel.run(max_cycles=2_000_000)
+        assert a.state is ProcessState.EXITED and a.exit_status == 7
+        assert b.state is ProcessState.EXITED and b.exit_status == 7
+        # The guard was actually exercised: contention forced repeated
+        # cross-evictions, each fault outlasting the 20-cycle quantum.
+        assert kernel.cis.stats.evictions >= 2
+        assert kernel.config.quantum_cycles == 20
+
+
 class TestAccounting:
     def test_kernel_and_cpu_cycles_sum_to_clock(self, kernel):
         a = kernel.spawn(program(SPIN_THEN_EXIT))
