@@ -20,13 +20,14 @@ def _series(figure, workload, policy, quantum):
     return figure.series_by_label(f"{workload}, {policy}, {quantum}")
 
 
-def _regenerate(workload: str):
+def _regenerate(workload: str, runner=None):
     return figure2(
         scale=BENCH_SCALE,
         instances=SWEEP_INSTANCES,
         workloads=(workload,),
         quanta=(10.0, 1.0),
         policies=("round_robin", "random"),
+        runner=runner,
     )
 
 
@@ -45,8 +46,8 @@ def _check_single_circuit_shape(figure, name: str):
     assert rnd_1ms <= rr_1ms * 1.05, "random should not lose to round robin"
 
 
-def test_fig2_alpha(once):
-    figure = once(_regenerate, "alpha")
+def test_fig2_alpha(once, sweep_runner):
+    figure = once(_regenerate, "alpha", runner=sweep_runner)
     _check_single_circuit_shape(figure, "Alpha")
     emit("fig2_alpha", render_table(figure) + "\n\n" + render_figure(figure))
     once.benchmark.extra_info["knees"] = {
@@ -54,14 +55,14 @@ def test_fig2_alpha(once):
     }
 
 
-def test_fig2_twofish(once):
-    figure = once(_regenerate, "twofish")
+def test_fig2_twofish(once, sweep_runner):
+    figure = once(_regenerate, "twofish", runner=sweep_runner)
     _check_single_circuit_shape(figure, "Twofish")
     emit("fig2_twofish", render_table(figure) + "\n\n" + render_figure(figure))
 
 
-def test_fig2_echo(once):
-    figure = once(_regenerate, "echo")
+def test_fig2_echo(once, sweep_runner):
+    figure = once(_regenerate, "echo", runner=sweep_runner)
     # Echo registers two circuits: contention after just two instances.
     for quantum in ("10ms", "1ms"):
         norm = normalised(_series(figure, "Echo", "Round Robin", quantum))
@@ -71,12 +72,13 @@ def test_fig2_echo(once):
     emit("fig2_echo", render_table(figure) + "\n\n" + render_figure(figure))
 
 
-def test_fig2_full_grid(once):
+def test_fig2_full_grid(once, sweep_runner):
     """The complete Figure 2 (all three workloads on one plot)."""
     figure = once(
         figure2,
         scale=BENCH_SCALE,
         instances=SWEEP_INSTANCES,
+        runner=sweep_runner,
     )
     assert len(figure.series) == 12  # 3 workloads x 2 policies x 2 quanta
     emit("fig2_full", render_table(figure) + "\n\n" + render_figure(figure))

@@ -20,12 +20,13 @@ from repro.sim.report import render_figure, render_table
 INSTANCES = (1, 2, 3, 5, 8)
 
 
-def test_fig3_echo(once):
+def test_fig3_echo(once, sweep_runner):
     figure = once(
         figure3,
         scale=FINE_SCALE,
         instances=INSTANCES,
         workloads=("echo",),
+        runner=sweep_runner,
     )
     soft_10 = figure.series_by_label("Echo, Soft, 10ms")
     soft_1 = figure.series_by_label("Echo, Soft, 1ms")
@@ -48,12 +49,13 @@ def test_fig3_echo(once):
     once.benchmark.extra_info["series"] = {s.label: s.ys() for s in figure.series}
 
 
-def test_fig3_alpha(once):
+def test_fig3_alpha(once, sweep_runner):
     figure = once(
         figure3,
         scale=FINE_SCALE,
         instances=INSTANCES,
         workloads=("alpha",),
+        runner=sweep_runner,
     )
     soft_10 = figure.series_by_label("Alpha, Soft, 10ms")
     soft_1 = figure.series_by_label("Alpha, Soft, 1ms")

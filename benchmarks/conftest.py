@@ -16,9 +16,12 @@ Run with::
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
+
+from repro.sim.runner import SweepRunner
 
 #: Scale for benchmark sweeps (coarser than the CLI default: benches run
 #: dozens of experiment points).
@@ -34,6 +37,11 @@ SWEEP_INSTANCES = (1, 2, 3, 5, 8)
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+#: Worker processes for benchmark sweeps.  Benchmarks time the sweep
+#: *engine*, so they run through the parallel runner (capped: beyond a
+#: few workers the per-point runtimes here are dominated by fork cost).
+BENCH_JOBS = int(os.environ.get("BENCH_JOBS", str(min(4, os.cpu_count() or 1))))
+
 
 def emit(name: str, text: str) -> None:
     """Write a rendered results artefact next to the benchmarks."""
@@ -45,6 +53,16 @@ def normalised(series) -> list[float]:
     """y / (x * y(1)) per point: 1.0 means perfectly linear scaling."""
     base = series.y_at(1)
     return [round(p.y / (base * p.x), 3) for p in series.points]
+
+
+@pytest.fixture
+def sweep_runner() -> SweepRunner:
+    """The engine benchmarks measure: parallel fan-out, *no* cache.
+
+    Caching is disabled so every timed round actually executes its
+    points — BENCH_*.json trajectories track the engine, not cache hits.
+    """
+    return SweepRunner(jobs=BENCH_JOBS)
 
 
 @pytest.fixture

@@ -154,8 +154,14 @@ class SecondChanceReplacement(_CounterTrackingPolicy):
                 continue
             return bank.pfu(index)
         # All candidates kept their reference bits set concurrently; fall
-        # back to the current hand position.
-        return candidates[0]
+        # back to the first candidate at or after the hand, advancing it,
+        # so the clock keeps rotating instead of pinning candidates[0].
+        for _ in range(len(bank)):
+            index = self._hand
+            self._hand = (self._hand + 1) % len(bank)
+            if index in candidate_indices:
+                return bank.pfu(index)
+        raise KernelError("second-chance replacement found no candidate")
 
     def reset(self) -> None:
         super().reset()

@@ -16,6 +16,7 @@ exposes all of them from the command line.
 
 from .scaling import DEFAULT_SCALE, scaled_config
 from .experiment import ExperimentSpec, RunOutcome, run_experiment
+from .runner import ResultCache, SweepRunner, default_cache_dir
 from .series import FigureData, Series, SeriesPoint
 from .figures import figure2, figure3, speedup_table
 from .report import render_figure, render_table
@@ -26,6 +27,9 @@ __all__ = [
     "ExperimentSpec",
     "RunOutcome",
     "run_experiment",
+    "ResultCache",
+    "SweepRunner",
+    "default_cache_dir",
     "FigureData",
     "Series",
     "SeriesPoint",

@@ -9,7 +9,10 @@ Commands:
 
 All commands accept ``--scale`` (default 1e-3; smaller is faster and
 coarser) and write CSV next to the plain-text rendering when ``--csv``
-is given.
+is given.  The sweep commands (``fig2``/``fig3``/``speedup``) also take
+``--jobs N`` (fan points out over N worker processes; results stay
+bit-identical to serial) and ``--no-cache`` (bypass the on-disk result
+cache keyed by experiment-spec content hashes).
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ from ..trace.timeline import TimelineAggregator
 from .experiment import ExperimentSpec, run_experiment
 from .figures import contention_knees, figure2, figure3, speedup_table
 from .report import render_figure, render_speedup, render_table, render_trace
+from .runner import ResultCache, SweepRunner, default_cache_dir
 from .scaling import DEFAULT_SCALE
 
 
@@ -61,6 +65,35 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--csv", metavar="PATH", help="also write CSV data")
     parser.add_argument(
         "--quiet", action="store_true", help="suppress progress output"
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run sweep points on N worker processes (default 1: serial; "
+             "results are bit-identical either way)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore and do not update the on-disk result cache "
+             f"(default location: {default_cache_dir()})",
+    )
+
+
+def _make_runner(args) -> SweepRunner:
+    cache = None if args.no_cache else ResultCache(default_cache_dir())
+    return SweepRunner(jobs=args.jobs, cache=cache)
+
+
+def _report_sweep(runner: SweepRunner, args, stream=sys.stderr) -> None:
+    """One summary line after a sweep: point count, cache hits, timing."""
+    if args.quiet:
+        return
+    stats = runner.stats
+    print(file=stream)
+    print(
+        f"sweep: {stats.points} points | cache hits {stats.cache_hits} | "
+        f"executed {stats.executed} | {stats.elapsed:.2f}s | "
+        f"jobs {runner.jobs}",
+        file=stream,
     )
 
 
@@ -141,29 +174,44 @@ def main(argv: list[str] | None = None) -> int:
     progress = None if args.quiet else _progress(sys.stderr)
 
     if args.command == "fig2":
+        runner = _make_runner(args)
         figure = figure2(
             scale=args.scale,
             instances=range(1, args.max_instances + 1),
             seed=args.seed,
             verify=args.verify,
             progress=progress,
+            runner=runner,
         )
+        _report_sweep(runner, args)
         _emit(figure, args)
     elif args.command == "fig3":
+        runner = _make_runner(args)
         figure = figure3(
             scale=args.scale,
             instances=range(1, args.max_instances + 1),
             seed=args.seed,
             verify=args.verify,
             progress=progress,
+            runner=runner,
         )
+        _report_sweep(runner, args)
         _emit(figure, args)
     elif args.command == "speedup":
-        figure = speedup_table(scale=args.scale, seed=args.seed)
+        runner = _make_runner(args)
+        figure = speedup_table(
+            scale=args.scale,
+            seed=args.seed,
+            verify=args.verify,
+            progress=progress,
+            runner=runner,
+        )
+        _report_sweep(runner, args)
         print(render_speedup(figure))
         if args.csv:
             with open(args.csv, "w") as handle:
                 handle.write(figure.to_csv() + "\n")
+            print(f"\nCSV written to {args.csv}")
     elif args.command == "run":
         spec = ExperimentSpec(
             workload=args.workload,

@@ -10,6 +10,8 @@ reference models, and returns the makespan with full statistics.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import asdict, dataclass, field
 from functools import lru_cache
 from typing import Sequence
@@ -76,6 +78,23 @@ class ExperimentSpec:
     def data_seed(self) -> int:
         """Seed for program data and the replacement policy."""
         return 0 if self.seed is None else self.seed
+
+    def spec_key(self) -> str:
+        """Stable content hash identifying this experiment point.
+
+        Covers every spec field *and* the fully-resolved
+        :class:`~repro.config.MachineConfig` it builds (so a change to
+        the scale model invalidates cached results even when the spec
+        fields themselves are unchanged).  The key is independent of
+        process, platform, and ``PYTHONHASHSEED`` — safe to use as an
+        on-disk cache key.
+        """
+        payload = asdict(self)
+        payload["variant"] = self.variant.value
+        payload["items"] = self.resolve_items()
+        payload["config"] = asdict(self.build_config())
+        blob = json.dumps(payload, sort_keys=True, default=repr)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
     def build_config(self) -> MachineConfig:
         config = scaled_config(

@@ -14,7 +14,8 @@ from typing import Callable
 
 from ..apps.registry import get_workload
 from ..apps.workloads import WorkloadVariant
-from .experiment import ExperimentSpec, run_experiment
+from .experiment import ExperimentSpec
+from .runner import SweepRunner
 from .scaling import DEFAULT_SCALE
 from .series import FigureData, Series
 
@@ -31,17 +32,37 @@ def _label(workload: str, policy_text: str, quantum_ms: float) -> str:
 ProgressFn = Callable[[str, int, int], None]
 
 
+def _adapt_progress(
+    progress: ProgressFn | None, labels: list[str]
+):
+    """Bridge the runner's index-based progress to the label-based
+    :data:`ProgressFn` the CLI renders, flagging cache hits."""
+    if progress is None:
+        return None
+
+    def on_point(done: int, total: int, index: int, cached: bool) -> None:
+        mark = " [cache]" if cached else ""
+        progress(labels[index] + mark, done, total)
+
+    return on_point
+
+
 def _sweep(
     figure: FigureData,
     specs: list[tuple[str, ExperimentSpec]],
     verify: bool,
     progress: ProgressFn | None,
+    runner: SweepRunner | None = None,
 ) -> FigureData:
+    runner = runner if runner is not None else SweepRunner()
+    labels = [label for label, _ in specs]
+    outcomes = runner.run(
+        [spec for _, spec in specs],
+        verify=verify,
+        progress=_adapt_progress(progress, labels),
+    )
     by_label: dict[str, Series] = {}
-    for count, (label, spec) in enumerate(specs, start=1):
-        if progress is not None:
-            progress(label, count, len(specs))
-        outcome = run_experiment(spec, verify=verify)
+    for (label, spec), outcome in zip(specs, outcomes):
         series = by_label.get(label)
         if series is None:
             series = Series(label=label)
@@ -68,6 +89,7 @@ def figure2(
     seed: int | None = None,
     verify: bool = False,
     progress: ProgressFn | None = None,
+    runner: SweepRunner | None = None,
 ) -> FigureData:
     """Figure 2 — the basic scheduling (circuit switching) test.
 
@@ -101,7 +123,7 @@ def figure2(
                             ),
                         )
                     )
-    return _sweep(figure, specs, verify, progress)
+    return _sweep(figure, specs, verify, progress, runner)
 
 
 def figure3(
@@ -112,6 +134,7 @@ def figure3(
     seed: int | None = None,
     verify: bool = False,
     progress: ProgressFn | None = None,
+    runner: SweepRunner | None = None,
 ) -> FigureData:
     """Figure 3 — the software dispatch test.
 
@@ -146,14 +169,16 @@ def figure3(
                             ),
                         )
                     )
-    return _sweep(figure, specs, verify, progress)
+    return _sweep(figure, specs, verify, progress, runner)
 
 
 def speedup_table(
     scale: float = DEFAULT_SCALE,
     workloads: Sequence[str] = ("echo", "alpha", "twofish"),
     seed: int | None = None,
-    verify: bool = True,
+    verify: bool = False,
+    progress: ProgressFn | None = None,
+    runner: SweepRunner | None = None,
 ) -> FigureData:
     """§5.1.1's claim: accelerated runs beat unaccelerated by ~10x.
 
@@ -166,21 +191,31 @@ def speedup_table(
         xlabel="variant (1 = accelerated, 2 = software)",
         ylabel="Completion time in clock cycles",
     )
+    variants = (WorkloadVariant.ACCELERATED, WorkloadVariant.SOFTWARE)
+    specs = []
+    labels = []
     for workload_name in workloads:
+        for variant in variants:
+            labels.append(f"{workload_name} ({variant.value})")
+            specs.append(
+                ExperimentSpec(
+                    workload=workload_name,
+                    instances=1,
+                    variant=variant,
+                    register_soft=variant is WorkloadVariant.ACCELERATED,
+                    scale=scale,
+                    seed=seed,
+                )
+            )
+    runner = runner if runner is not None else SweepRunner()
+    outcomes = runner.run(
+        specs, verify=verify, progress=_adapt_progress(progress, labels)
+    )
+    for slot, workload_name in enumerate(workloads):
         series = Series(label=workload_name)
         cycles = {}
-        for position, variant in enumerate(
-            (WorkloadVariant.ACCELERATED, WorkloadVariant.SOFTWARE), start=1
-        ):
-            spec = ExperimentSpec(
-                workload=workload_name,
-                instances=1,
-                variant=variant,
-                register_soft=variant is WorkloadVariant.ACCELERATED,
-                scale=scale,
-                seed=seed,
-            )
-            outcome = run_experiment(spec, verify=verify)
+        for position, variant in enumerate(variants, start=1):
+            outcome = outcomes[slot * len(variants) + position - 1]
             cycles[variant] = outcome.makespan
             series.add(position, outcome.makespan, variant=variant.value)
         factor = cycles[WorkloadVariant.SOFTWARE] / cycles[

@@ -1,0 +1,213 @@
+"""Sweep execution: process-pool fan-out plus spec-keyed result caching.
+
+Every figure in the paper is a sweep over (workload x policy x quantum x
+instance-count) points that are completely independent of one another,
+so they parallelise trivially.  :class:`SweepRunner` fans a list of
+:class:`~repro.sim.experiment.ExperimentSpec` out over a
+``multiprocessing`` pool and merges the outcomes **deterministically**:
+results are returned in spec order regardless of completion order, so a
+parallel sweep is bit-identical to the serial reference (``jobs=1``).
+
+Completed points are stored in an on-disk :class:`ResultCache` keyed by
+:meth:`ExperimentSpec.spec_key` — a stable content hash of the spec and
+its fully-resolved machine configuration — plus the verify flag and
+:data:`RESULTS_VERSION`.  Re-running a sweep only executes points whose
+spec (or the result schema) changed; everything else is a cache hit.
+
+Layout of the cache directory (default ``benchmarks/results/cache/``)::
+
+    cache/
+      <first two hex digits>/
+        <full sha256 key>.pkl     # pickled RunOutcome
+
+Workers never touch the cache: outcomes are marshalled back to the
+parent, which is the single writer.  Progress callbacks likewise fire in
+the parent as results arrive.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import tempfile
+import time
+from dataclasses import dataclass
+from hashlib import sha256
+from pathlib import Path
+from typing import Callable, Sequence
+
+from ..errors import ExperimentError
+from .experiment import ExperimentSpec, RunOutcome, run_experiment
+
+#: Bump when the semantics of :class:`RunOutcome` (or of running an
+#: experiment point) change in a way that stales previously cached
+#: results despite an unchanged spec.
+RESULTS_VERSION = 1
+
+#: Progress callback: ``(done, total, index, cached)`` where ``index``
+#: is the position of the just-finished point in the submitted spec list
+#: and ``cached`` is True when it was served from the result cache.
+SweepProgressFn = Callable[[int, int, int, bool], None]
+
+
+def default_cache_dir() -> Path:
+    """Resolve the on-disk cache location.
+
+    ``REPRO_CACHE_DIR`` wins; otherwise ``benchmarks/results/cache/``
+    under the repository root when running from a checkout, falling back
+    to ``.repro-cache/`` in the working directory for installed copies.
+    """
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    root = Path(__file__).resolve().parents[3]
+    if (root / "benchmarks").is_dir():
+        return root / "benchmarks" / "results" / "cache"
+    return Path.cwd() / ".repro-cache"
+
+
+class ResultCache:
+    """Pickle-per-point result store under ``root``.
+
+    Load failures of any kind (missing file, truncated pickle, stale
+    classes) are treated as cache misses — the cache is an accelerator,
+    never a source of errors.
+    """
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+
+    def key(self, spec: ExperimentSpec, verify: bool) -> str:
+        blob = f"{spec.spec_key()}:verify={int(bool(verify))}:v={RESULTS_VERSION}"
+        return sha256(blob.encode("utf-8")).hexdigest()
+
+    def path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def load(self, spec: ExperimentSpec, verify: bool) -> RunOutcome | None:
+        path = self.path(self.key(spec, verify))
+        try:
+            with open(path, "rb") as handle:
+                outcome = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, TypeError):
+            return None
+        # Guard against (astronomically unlikely) key collisions and
+        # against keys minted by an older hashing scheme.
+        if not isinstance(outcome, RunOutcome) or outcome.spec != spec:
+            return None
+        return outcome
+
+    def store(self, spec: ExperimentSpec, verify: bool,
+              outcome: RunOutcome) -> None:
+        path = self.path(self.key(spec, verify))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Atomic publish: never leave a truncated pickle for a
+        # concurrent reader (or an interrupted run) to trip over.
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(outcome, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+
+@dataclass
+class SweepStats:
+    """Accumulated accounting across every sweep a runner executed."""
+
+    points: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    elapsed: float = 0.0
+
+
+def _run_indexed(payload: tuple[int, ExperimentSpec, bool]):
+    """Pool worker: run one point, echoing its submission index back so
+    the parent can merge out-of-order completions deterministically."""
+    index, spec, verify = payload
+    return index, run_experiment(spec, verify=verify)
+
+
+class SweepRunner:
+    """Execute experiment sweeps, optionally parallel and cached.
+
+    ``jobs=1`` (the default) is the serial reference path: points run
+    in submission order in this process, exactly as the figures did
+    before this engine existed.  ``jobs>1`` fans cache misses out over
+    a process pool; results are merged back into submission order, so
+    the output is bit-identical either way.
+    """
+
+    def __init__(self, jobs: int = 1, cache: ResultCache | None = None) -> None:
+        if jobs < 1:
+            raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+        self.stats = SweepStats()
+
+    def run(
+        self,
+        specs: Sequence[ExperimentSpec],
+        verify: bool = False,
+        progress: SweepProgressFn | None = None,
+    ) -> list[RunOutcome]:
+        start = time.perf_counter()
+        total = len(specs)
+        results: list[RunOutcome | None] = [None] * total
+        done = 0
+
+        pending: list[int] = []
+        for index, spec in enumerate(specs):
+            hit = self.cache.load(spec, verify) if self.cache else None
+            if hit is not None:
+                results[index] = hit
+                done += 1
+                self.stats.cache_hits += 1
+                if progress is not None:
+                    progress(done, total, index, True)
+            else:
+                pending.append(index)
+
+        def finish(index: int, outcome: RunOutcome) -> None:
+            nonlocal done
+            results[index] = outcome
+            done += 1
+            self.stats.executed += 1
+            if self.cache is not None:
+                self.cache.store(specs[index], verify, outcome)
+            if progress is not None:
+                progress(done, total, index, False)
+
+        if len(pending) > 1 and self.jobs > 1:
+            payloads = [(i, specs[i], verify) for i in pending]
+            with self._pool(min(self.jobs, len(pending))) as pool:
+                for index, outcome in pool.imap_unordered(
+                    _run_indexed, payloads, chunksize=1
+                ):
+                    finish(index, outcome)
+        else:
+            for index in pending:
+                finish(index, run_experiment(specs[index], verify=verify))
+
+        self.stats.points += total
+        self.stats.elapsed += time.perf_counter() - start
+        assert all(outcome is not None for outcome in results)
+        return results  # type: ignore[return-value]
+
+    @staticmethod
+    def _pool(processes: int):
+        # Fork is markedly cheaper than spawn and inherits the already-
+        # imported simulator; fall back to the platform default where
+        # fork is unavailable (e.g. macOS pythons defaulting to spawn).
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        return context.Pool(processes=processes)

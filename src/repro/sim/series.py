@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import csv
+import io
 from dataclasses import dataclass, field
 
 from ..errors import ExperimentError
@@ -83,6 +85,11 @@ class FigureData:
         return rows
 
     def to_csv(self) -> str:
+        """Render rows as RFC-4180 CSV.
+
+        Series labels contain commas ("Echo, Round Robin, 10ms"), so
+        fields go through the stdlib writer, which quotes them properly.
+        """
         rows = self.to_rows()
         if not rows:
             return ""
@@ -92,7 +99,9 @@ class FigureData:
             if front in keys:
                 keys.remove(front)
                 keys.insert(0, front)
-        lines = [",".join(keys)]
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(keys)
         for row in rows:
-            lines.append(",".join(str(row.get(key, "")) for key in keys))
-        return "\n".join(lines)
+            writer.writerow([row.get(key, "") for key in keys])
+        return buffer.getvalue().rstrip("\n")

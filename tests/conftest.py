@@ -16,6 +16,12 @@ from repro.kernel.porsche import Porsche
 from repro.kernel.replacement import make_policy
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Keep tests hermetic: never read or write the repo's sweep cache."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "result-cache"))
+
+
 @pytest.fixture
 def config() -> MachineConfig:
     """A small, fast machine: 4 PFUs, short quanta, quick config port."""

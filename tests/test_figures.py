@@ -68,6 +68,19 @@ class TestFigureData:
     def test_empty_csv(self):
         assert FigureData(name="f", title="T", xlabel="x", ylabel="y").to_csv() == ""
 
+    def test_to_csv_quotes_comma_labels(self):
+        import csv as csv_module
+        import io
+
+        figure = FigureData(name="f", title="T", xlabel="x", ylabel="y")
+        series = Series(label="Echo, Round Robin, 10ms")
+        series.add(1, 10)
+        figure.series.append(series)
+        text = figure.to_csv()
+        rows = list(csv_module.reader(io.StringIO(text)))
+        assert all(len(row) == len(rows[0]) for row in rows)
+        assert rows[1][0] == "Echo, Round Robin, 10ms"
+
 
 class TestRendering:
     def test_render_table_contains_values(self):

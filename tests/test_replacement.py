@@ -142,6 +142,41 @@ class TestSecondChance:
         victim = policy.choose(list(bank), bank)
         assert victim.index == 0
 
+    def test_fallback_respects_hand_position(self):
+        """When every candidate's reference bit stays set, the fallback
+        must evict at the hand (advancing it), not pin candidates[0]."""
+
+        class StickyBits(dict):
+            # Reference bits that refuse to clear: models candidates
+            # being re-referenced concurrently with the sweep.
+            def __setitem__(self, key, value):
+                if value:
+                    super().__setitem__(key, value)
+
+        policy = SecondChanceReplacement()
+        bank = loaded_bank()
+        policy._referenced = StickyBits(
+            {index: True for index in range(len(bank))}
+        )
+        policy._hand = 2
+        victim = policy.choose(list(bank), bank)
+        assert victim.index == 2  # the hand, not candidates[0]
+        assert policy._hand == 3  # and the clock advanced past it
+
+    def test_fallback_keeps_rotating(self):
+        class StickyBits(dict):
+            def __setitem__(self, key, value):
+                if value:
+                    super().__setitem__(key, value)
+
+        policy = SecondChanceReplacement()
+        bank = loaded_bank()
+        policy._referenced = StickyBits(
+            {index: True for index in range(len(bank))}
+        )
+        picks = [policy.choose(list(bank), bank).index for _ in range(5)]
+        assert picks == [0, 1, 2, 3, 0]
+
 
 @given(
     policy_name=st.sampled_from(POLICY_NAMES),

@@ -1,0 +1,178 @@
+"""The sweep engine: parallel fan-out, deterministic merge, result cache."""
+
+import csv
+import io
+import pickle
+
+import pytest
+
+import repro.sim.runner as runner_module
+from repro.errors import ExperimentError
+from repro.sim.experiment import ExperimentSpec, run_experiment
+from repro.sim.figures import figure2
+from repro.sim.runner import RESULTS_VERSION, ResultCache, SweepRunner
+
+SCALE = 1 / 8000
+
+
+def tiny_fig2(runner=None, progress=None):
+    return figure2(
+        scale=SCALE,
+        instances=(1, 2),
+        workloads=("alpha",),
+        quanta=(1.0,),
+        policies=("round_robin",),
+        runner=runner,
+        progress=progress,
+    )
+
+
+def spec(**overrides) -> ExperimentSpec:
+    values = dict(workload="alpha", instances=1, quantum_ms=1.0, scale=SCALE)
+    values.update(overrides)
+    return ExperimentSpec(**values)
+
+
+class TestSpecKey:
+    def test_stable_across_instances(self):
+        assert spec().spec_key() == spec().spec_key()
+
+    def test_sensitive_to_every_axis(self):
+        base = spec().spec_key()
+        for change in (
+            dict(workload="echo"),
+            dict(instances=2),
+            dict(quantum_ms=10.0),
+            dict(policy="random"),
+            dict(soft=True),
+            dict(scale=1 / 4000),
+            dict(seed=7),
+        ):
+            assert spec(**change).spec_key() != base, change
+
+    def test_covers_resolved_config(self):
+        # Same spec fields, different machine: pfu_count feeds the
+        # resolved MachineConfig, which the key must cover.
+        assert spec(pfu_count=2).spec_key() != spec().spec_key()
+
+
+class TestParallelEquivalence:
+    def test_parallel_bit_identical_to_serial(self):
+        serial = tiny_fig2()
+        parallel = tiny_fig2(runner=SweepRunner(jobs=4))
+        assert serial.to_csv() == parallel.to_csv()
+        for left, right in zip(serial.series, parallel.series):
+            assert left.label == right.label
+            assert left.ys() == right.ys()
+            assert [p.detail for p in left.points] == [
+                p.detail for p in right.points
+            ]
+
+    def test_results_merge_in_spec_order(self):
+        specs = [spec(instances=n) for n in (3, 1, 2)]
+        outcomes = SweepRunner(jobs=2).run(specs)
+        assert [outcome.spec for outcome in outcomes] == specs
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ExperimentError):
+            SweepRunner(jobs=0)
+
+
+class TestResultCache:
+    def test_hit_skips_execution(self, tmp_path, monkeypatch):
+        calls = []
+
+        def counting(point, verify=False, **kwargs):
+            calls.append(point)
+            return run_experiment(point, verify=verify, **kwargs)
+
+        monkeypatch.setattr(runner_module, "run_experiment", counting)
+        point = spec()
+        cold = SweepRunner(cache=ResultCache(tmp_path))
+        first = cold.run([point])
+        assert len(calls) == 1
+        assert cold.stats.executed == 1 and cold.stats.cache_hits == 0
+
+        warm = SweepRunner(cache=ResultCache(tmp_path))
+        second = warm.run([point])
+        assert len(calls) == 1  # served from disk, not re-executed
+        assert warm.stats.executed == 0 and warm.stats.cache_hits == 1
+        assert second[0].makespan == first[0].makespan
+        assert second[0].cis == first[0].cis
+
+    def test_spec_change_invalidates(self, tmp_path, monkeypatch):
+        calls = []
+
+        def counting(point, verify=False, **kwargs):
+            calls.append(point)
+            return run_experiment(point, verify=verify, **kwargs)
+
+        monkeypatch.setattr(runner_module, "run_experiment", counting)
+        cache = ResultCache(tmp_path)
+        SweepRunner(cache=cache).run([spec()])
+        SweepRunner(cache=cache).run([spec(quantum_ms=2.0)])
+        assert len(calls) == 2
+
+    def test_verify_flag_is_part_of_the_key(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.key(spec(), verify=False) != cache.key(spec(), verify=True)
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        point = spec()
+        SweepRunner(cache=cache).run([point])
+        path = cache.path(cache.key(point, verify=False))
+        path.write_bytes(b"not a pickle")
+        assert cache.load(point, verify=False) is None
+
+    def test_entry_roundtrips_through_pickle(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        point = spec()
+        (outcome,) = SweepRunner(cache=cache).run([point])
+        path = cache.path(cache.key(point, verify=False))
+        assert pickle.loads(path.read_bytes()).makespan == outcome.makespan
+
+    def test_version_tag_in_key(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        before = cache.key(spec(), verify=False)
+        monkeypatch.setattr(runner_module, "RESULTS_VERSION",
+                            RESULTS_VERSION + 1)
+        assert cache.key(spec(), verify=False) != before
+
+
+class TestProgress:
+    def test_reports_cache_state_per_point(self, tmp_path):
+        events = []
+
+        def progress(label, done, total):
+            events.append((label, done, total))
+
+        tiny_fig2(runner=SweepRunner(cache=ResultCache(tmp_path)),
+                  progress=progress)
+        assert len(events) == 2
+        assert all(total == 2 for _, _, total in events)
+        assert not any("[cache]" in label for label, _, _ in events)
+
+        events.clear()
+        tiny_fig2(runner=SweepRunner(cache=ResultCache(tmp_path)),
+                  progress=progress)
+        assert len(events) == 2
+        assert all("[cache]" in label for label, _, _ in events)
+
+
+class TestCsvRoundTrip:
+    def test_comma_labels_survive(self):
+        figure = tiny_fig2()
+        label = figure.series[0].label
+        assert "," in label  # "Alpha, Round Robin, 1ms"
+        parsed = list(csv.reader(io.StringIO(figure.to_csv())))
+        header, *rows = parsed
+        expected = figure.to_rows()
+        assert len(rows) == len(expected)
+        for parsed_row, row in zip(rows, expected):
+            record = dict(zip(header, parsed_row))
+            assert record["series"] == row["series"]
+            assert int(record["x"]) == row["x"]
+            assert int(record["y"]) == row["y"]
+            for key, value in row.items():
+                assert record[key] == str(value)
