@@ -30,18 +30,21 @@ def _run(allow_sharing: bool):
 def _run_reuse():
     """Static-image reuse only (no instance sharing)."""
     from repro.apps.registry import get_workload
-    from repro.kernel.porsche import Porsche
+    from repro.machine import Machine
 
     spec = ExperimentSpec(
         workload="alpha", instances=6, quantum_ms=1.0, scale=FINE_SCALE
     )
     config = spec.build_config().derive(reuse_resident_static=True)
-    kernel = Porsche(config)
+    machine = Machine.from_config(config)
     workload = get_workload("alpha")
     program = workload.build(items=spec.resolve_items())
-    processes = [kernel.spawn(program) for __ in range(6)]
-    kernel.run()
-    return max(p.completion_cycle for p in processes), kernel.cis.stats
+    processes = [machine.spawn(program) for __ in range(6)]
+    machine.run()
+    return (
+        max(p.completion_cycle for p in processes),
+        machine.kernel.cis.stats,
+    )
 
 
 def _run_all():

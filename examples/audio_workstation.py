@@ -13,7 +13,7 @@ Run with::
     python examples/audio_workstation.py
 """
 
-from repro import Porsche
+from repro import Machine
 from repro.apps.echo import build_echo_program, echo_reference
 from repro.sim.scaling import scaled_config
 
@@ -26,17 +26,17 @@ def run(soft: bool) -> tuple[int, dict]:
     config = scaled_config(
         SCALE, quantum_ms=1.0, prefer_software_when_full=soft
     )
-    kernel = Porsche(config)
+    machine = Machine.from_config(config)
     processes = [
-        kernel.spawn(build_echo_program(items=SAMPLES, seed=7))
+        machine.spawn(build_echo_program(items=SAMPLES, seed=7))
         for __ in range(TRACKS)
     ]
-    kernel.run()
+    machine.run()
     expected = echo_reference(SAMPLES, seed=7)
     for process in processes:
         assert process.read_result("dst") == expected, "audio corrupted!"
-    stats = kernel.cis.stats
-    return kernel.clock, {
+    stats = machine.kernel.cis.stats
+    return machine.clock, {
         "loads": stats.loads,
         "evictions": stats.evictions,
         "soft deferrals": stats.soft_deferrals,

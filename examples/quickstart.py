@@ -16,7 +16,7 @@ Run with::
     python examples/quickstart.py
 """
 
-from repro import MachineConfig, Porsche
+from repro import Machine, MachineConfig
 from repro.core.circuit import CircuitSpec, FunctionBehaviour
 from repro.cpu.program import Program
 
@@ -110,11 +110,12 @@ def main() -> None:
         result_labels={"dst": 32},
     )
 
-    # 3. Boot a kernel (a scaled machine so this runs instantly).
+    # 3. Boot a machine (scaled down so this runs instantly).
     config = MachineConfig(cycles_per_ms=1000, quantum_ms=1.0)
-    kernel = Porsche(config)
-    process = kernel.spawn(program)
-    kernel.run()
+    machine = Machine.from_config(config)
+    process = machine.spawn(program)
+    machine.run()
+    kernel = machine.kernel
 
     # 4. Results and statistics.
     print(f"process exited with status {process.exit_status} "

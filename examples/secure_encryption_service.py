@@ -18,7 +18,7 @@ Run with::
     python examples/secure_encryption_service.py
 """
 
-from repro import MachineConfig, Porsche
+from repro import Machine, MachineConfig
 from repro.apps.data import synthetic_plaintext
 from repro.apps.twofish import Twofish, build_twofish_program, workload_key
 
@@ -33,16 +33,17 @@ def main() -> None:
         quantum_ms=0.5,
         config_bus_bytes_per_cycle=256,
     )
-    kernel = Porsche(config)
+    machine = Machine.from_config(config)
+    kernel = machine.kernel
 
     processes = []
     for stream in range(STREAMS):
         program = build_twofish_program(items=BLOCKS, seed=stream)
-        processes.append((stream, kernel.spawn(program)))
+        processes.append((stream, machine.spawn(program)))
 
     print(f"encrypting {STREAMS} streams of {BLOCKS} blocks "
           f"on {config.pfu_count} PFUs...")
-    kernel.run()
+    machine.run()
 
     all_ok = True
     for stream, process in processes:

@@ -11,12 +11,12 @@ software-defers circuits under contention.
 
 Quick start::
 
-    from repro import MachineConfig, Porsche, get_workload
+    from repro import Machine, MachineConfig, get_workload
 
-    kernel = Porsche(MachineConfig(cycles_per_ms=1000))
+    machine = Machine.from_config(MachineConfig(cycles_per_ms=1000))
     program = get_workload("alpha").build(items=256)
-    process = kernel.spawn(program)
-    kernel.run()
+    process = machine.spawn(program)
+    machine.run()
     print(process.completion_cycle)
 
 or regenerate the paper's figures::
@@ -30,7 +30,9 @@ results against the paper's.
 """
 
 from .config import DEFAULT_CONFIG, MachineConfig
-from .errors import ReproError
+from .errors import CheckpointError, ReproError
+from .machine import Machine
+from .state import Snapshotable
 from .core import (
     CircuitSpec,
     DispatchKind,
@@ -64,6 +66,9 @@ __version__ = "1.0.0"
 __all__ = [
     "DEFAULT_CONFIG",
     "MachineConfig",
+    "Machine",
+    "Snapshotable",
+    "CheckpointError",
     "ReproError",
     "CircuitSpec",
     "DispatchKind",

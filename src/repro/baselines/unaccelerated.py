@@ -14,8 +14,8 @@ from dataclasses import dataclass
 from ..config import MachineConfig
 from ..apps.workloads import Workload, WorkloadVariant
 from ..errors import ExperimentError
-from ..kernel.porsche import Porsche
 from ..kernel.process import ProcessState
+from ..machine import Machine
 
 
 @dataclass(frozen=True)
@@ -37,10 +37,10 @@ def _run_solo(
     seed: int,
     verify: bool,
 ) -> SoloRun:
-    kernel = Porsche(config)
+    machine = Machine.from_config(config)
     program = workload.build(items=items, seed=seed, variant=variant)
-    process = kernel.spawn(program)
-    kernel.run()
+    process = machine.spawn(program)
+    machine.run()
     if process.state is not ProcessState.EXITED:
         raise ExperimentError(
             f"{workload.name} ({variant.value}) did not finish: "
@@ -59,7 +59,7 @@ def _run_solo(
         workload=workload.name,
         variant=variant.value,
         items=items,
-        cycles=kernel.clock,
+        cycles=machine.clock,
         verified=verified,
     )
 

@@ -96,3 +96,29 @@ class CAM(Generic[K]):
     def _check_entry(self, entry: int) -> None:
         if not 0 <= entry < self.entries:
             raise TLBError(f"CAM entry {entry} out of range 0..{self.entries - 1}")
+
+    # ---- machine-state protocol -------------------------------------------
+    def snapshot(self) -> dict:
+        """Entry-exact capture; keys serialise as lists of their fields."""
+        return {
+            "entries": self.entries,
+            "keys": [
+                list(self._keys[i]) if self._valid[i] else None
+                for i in range(self.entries)
+            ],
+        }
+
+    def restore(self, state: dict, make_key) -> None:
+        """Reinstate entries; ``make_key`` rebuilds a key from its list."""
+        if state["entries"] != self.entries:
+            raise TLBError("CAM snapshot does not match geometry")
+        self._keys = [None] * self.entries
+        self._valid = [False] * self.entries
+        self._index = {}
+        for entry, fields in enumerate(state["keys"]):
+            if fields is None:
+                continue
+            key = make_key(fields)
+            self._keys[entry] = key
+            self._valid[entry] = True
+            self._index[key] = entry

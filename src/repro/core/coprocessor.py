@@ -190,6 +190,34 @@ class ProteusCoprocessor:
             "operands": (0, 0, 0, False),
         }
 
+    # ---- machine-state protocol -------------------------------------------
+    def snapshot(self) -> dict:
+        """Capture all coprocessor state except circuit-instance contents.
+
+        Instances are owned by process registrations; the machine facade
+        serialises them there and passes them back here on restore so the
+        PFU slots and registrations share one object per instance.
+        """
+        return {
+            "regfile": self.regfile.snapshot(),
+            "operands": self.operand_regs.snapshot(),
+            "dispatch": self.dispatch.snapshot(),
+            "pfus": self.pfus.snapshot(),
+            "array": self.array.snapshot(),
+        }
+
+    def restore(
+        self,
+        state: dict,
+        instances: list[CircuitInstance | None] | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.regfile.restore(state["regfile"])
+        self.operand_regs.restore(state["operands"])
+        self.dispatch.restore(state["dispatch"])
+        self.pfus.restore(state["pfus"], instances)
+        self.array.restore(state["array"], seed=seed)
+
     # ---- OS-side: usage statistics (§4.5) -------------------------------------
     def read_usage_counters(self) -> list[int]:
         """Read-and-clear every PFU usage counter."""

@@ -137,3 +137,14 @@ class DispatchUnit:
 
     def tuples_for_pfu(self, pfu_index: int) -> list[IDTuple]:
         return self.hardware_tlb.keys_for_value(pfu_index)
+
+    # ---- machine-state protocol -------------------------------------------
+    def snapshot(self) -> dict:
+        return {
+            "hardware_tlb": self.hardware_tlb.snapshot(),
+            "software_tlb": self.software_tlb.snapshot(),
+        }
+
+    def restore(self, state: dict) -> None:
+        self.hardware_tlb.restore(state["hardware_tlb"])
+        self.software_tlb.restore(state["software_tlb"])

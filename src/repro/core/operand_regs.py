@@ -70,5 +70,17 @@ class OperandRegisters:
     def save(self) -> tuple[int, int, int, bool]:
         return (self.source_a, self.source_b, self.dest_index, self.valid)
 
-    def restore(self, saved: tuple[int, int, int, bool]) -> None:
+    def restore(
+        self, saved: tuple[int, int, int, bool] | list | dict
+    ) -> None:
+        if isinstance(saved, dict):
+            self.clobbers = saved["clobbers"]
+            saved = saved["regs"]
         self.source_a, self.source_b, self.dest_index, self.valid = saved
+        self.valid = bool(self.valid)
+
+    # ---- machine-state protocol -------------------------------------------
+    def snapshot(self) -> dict:
+        """Whole-machine capture: the per-process ``save()`` tuple plus
+        the diagnostic clobber count a context switch does not move."""
+        return {"regs": list(self.save()), "clobbers": self.clobbers}

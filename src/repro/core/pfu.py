@@ -122,6 +122,26 @@ class PFU:
             raise PFUError(f"PFU {self.index} has no circuit loaded")
         return self.instance
 
+    # ---- machine-state protocol -------------------------------------------
+    def snapshot(self) -> dict:
+        """Scalar PFU state.  The resident instance is identified and
+        re-attached by the machine facade, which owns instance identity."""
+        return {
+            "status": self.status,
+            "usage_counter": self.usage_counter,
+            "total_busy_cycles": self.total_busy_cycles,
+            "total_completions": self.total_completions,
+        }
+
+    def restore(
+        self, state: dict, instance: CircuitInstance | None = None
+    ) -> None:
+        self.instance = instance
+        self.status = state["status"]
+        self.usage_counter = state["usage_counter"]
+        self.total_busy_cycles = state["total_busy_cycles"]
+        self.total_completions = state["total_completions"]
+
 
 @dataclass
 class PFUBank:
@@ -163,3 +183,18 @@ class PFUBank:
             ):
                 return pfu
         return None
+
+    # ---- machine-state protocol -------------------------------------------
+    def snapshot(self) -> dict:
+        return {"pfus": [pfu.snapshot() for pfu in self.pfus]}
+
+    def restore(
+        self, state: dict, instances: list[CircuitInstance | None] | None = None
+    ) -> None:
+        saved = state["pfus"]
+        if len(saved) != len(self.pfus):
+            raise PFUError("PFU bank snapshot does not match geometry")
+        if instances is None:
+            instances = [None] * len(self.pfus)
+        for pfu, entry, instance in zip(self.pfus, saved, instances):
+            pfu.restore(entry, instance)

@@ -44,7 +44,13 @@ class FPLRegisterFile:
         """Snapshot for a process context switch."""
         return list(self._regs)
 
-    def restore(self, saved: list[int]) -> None:
+    # ---- machine-state protocol -------------------------------------------
+    def snapshot(self) -> dict:
+        return {"regs": self.save()}
+
+    def restore(self, saved: list[int] | dict) -> None:
+        if isinstance(saved, dict):
+            saved = saved["regs"]
         if len(saved) != self.size:
             raise DispatchError(
                 f"register-file restore expects {self.size} words, "

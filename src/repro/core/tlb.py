@@ -120,6 +120,27 @@ class DispatchTLB:
             removed += 1
         return removed
 
+    # ---- machine-state protocol -------------------------------------------
+    def snapshot(self) -> dict:
+        return {
+            "cam": self.cam.snapshot(),
+            "ram": list(self.ram),
+            "fifo_hand": self._fifo_hand,
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+        }
+
+    def restore(self, state: dict) -> None:
+        self.cam.restore(state["cam"], lambda fields: IDTuple(*fields))
+        self.ram = list(state["ram"])
+        self._fifo_hand = state["fifo_hand"]
+        self.lookups = state["lookups"]
+        self.hits = state["hits"]
+        self.insertions = state["insertions"]
+        self.evictions = state["evictions"]
+
     # ---- introspection ----------------------------------------------------
     def contents(self) -> dict[IDTuple, int]:
         out: dict[IDTuple, int] = {}

@@ -61,6 +61,26 @@ class CPUState:
     def pc(self, value: int) -> None:
         self.regs[15] = value & MASK32
 
+    # ---- machine-state protocol -------------------------------------------
+    def snapshot(self) -> dict:
+        return {
+            "regs": list(self.regs),
+            "flags": self.flags.snapshot(),
+            "halted": self.halted,
+            "instructions_retired": self.instructions_retired,
+            "memory": self.memory.snapshot(),
+        }
+
+    def restore(self, state: dict) -> None:
+        # In place: the translated closures capture the register list,
+        # flags object and memory; rebinding any of them would desync
+        # the compiled program from the architectural state.
+        self.regs[:] = [value & MASK32 for value in state["regs"]]
+        self.flags.restore(state["flags"])
+        self.halted = bool(state["halted"])
+        self.instructions_retired = state["instructions_retired"]
+        self.memory.restore(state["memory"])
+
 
 @dataclass
 class StepResult:
@@ -109,6 +129,35 @@ class CPU:
         self.pid = pid
         self._ctx: "translate_module.RunContext | None" = None
         self._ops = None
+
+    # ---- machine-state protocol -------------------------------------------
+    def snapshot(self) -> dict:
+        """Capture interpreter state beyond :class:`CPUState`.
+
+        The translated :class:`~repro.cpu.translate.RunContext` cursor is
+        included for completeness; between bursts the architectural PC is
+        authoritative (``run`` reloads ``ctx.idx`` from it on entry), so
+        the cursor is observational rather than load-bearing.
+        """
+        ctx = self._ctx
+        return {
+            "state": self.state.snapshot(),
+            "ctx": None if ctx is None else {
+                "idx": ctx.idx,
+                "interrupted": ctx.interrupted,
+                "retired": ctx.retired,
+            },
+        }
+
+    def restore(self, state: dict) -> None:
+        self.state.restore(state["state"])
+        saved_ctx = state.get("ctx")
+        if self._ctx is not None and saved_ctx is not None:
+            self._ctx.idx = saved_ctx["idx"]
+            self._ctx.interrupted = saved_ctx["interrupted"]
+            self._ctx.retired = saved_ctx["retired"]
+        # A not-yet-compiled CPU stays lazy: the next run() compiles
+        # against the (already restored) architectural state.
 
     # ------------------------------------------------------------------
     def _compile(self):

@@ -168,6 +168,16 @@ class Flags:
     c: bool = False
     v: bool = False
 
+    # ---- machine-state protocol -------------------------------------------
+    def snapshot(self) -> dict:
+        return {"n": self.n, "z": self.z, "c": self.c, "v": self.v}
+
+    def restore(self, state: dict) -> None:
+        self.n = bool(state["n"])
+        self.z = bool(state["z"])
+        self.c = bool(state["c"])
+        self.v = bool(state["v"])
+
     def passes(self, cond: Cond) -> bool:
         """Evaluate a branch condition against the current flags."""
         if cond is Cond.AL:

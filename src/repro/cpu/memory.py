@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import MemoryFault
+from ..state import decode_bytes, encode_bytes
 
 MASK32 = 0xFFFFFFFF
 
@@ -76,6 +77,22 @@ class Memory:
 
     def read_words(self, address: int, count: int) -> list[int]:
         return [self.load_word(address + 4 * i) for i in range(count)]
+
+    # ---- machine-state protocol -------------------------------------------
+    def snapshot(self) -> dict:
+        return {
+            "size": self.size,
+            "guard_below": self.guard_below,
+            "bytes": encode_bytes(self._bytes),
+        }
+
+    def restore(self, state: dict) -> None:
+        data = decode_bytes(state["bytes"])
+        if state["size"] != self.size or len(data) != self.size:
+            raise MemoryFault(0, "memory snapshot does not match layout")
+        # In place: the translated CPU closures hold this bytearray.
+        self._bytes[:] = data
+        self.guard_below = state["guard_below"]
 
     @property
     def stack_top(self) -> int:

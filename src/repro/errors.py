@@ -89,3 +89,7 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was configured inconsistently."""
+
+
+class CheckpointError(ReproError):
+    """A machine checkpoint could not be taken, stored, or restored."""

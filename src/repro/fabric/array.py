@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import PlacementError
-from .bitstream import Bitstream, StateSnapshot
+from .bitstream import Bitstream, StateSnapshot, build_bitstream
 
 
 @dataclass
@@ -51,6 +51,44 @@ class PFURegion:
 
     def unload(self) -> None:
         self.resident = None
+
+    # ---- machine-state protocol -------------------------------------------
+    def snapshot(self) -> dict:
+        """Record the resident image as its deterministic build recipe.
+
+        Synthetic bitstreams are pure functions of (name, shape, seed), so
+        a checkpoint stores the recipe rather than the payload bytes.
+        """
+        resident = self.resident
+        if resident is None:
+            return {"resident": None}
+        return {
+            "resident": {
+                "name": resident.name,
+                "clb_count": resident.clb_count,
+                "state_words": resident.state_words,
+                "static_bytes": resident.static_bytes,
+                "state_bytes": resident.state_bytes,
+                "uses_iobs": resident.uses_iobs,
+                "mux_routing": resident.mux_routing,
+            }
+        }
+
+    def restore(self, state: dict, seed: int = 0) -> None:
+        recipe = state["resident"]
+        if recipe is None:
+            self.resident = None
+            return
+        self.resident = build_bitstream(
+            name=recipe["name"],
+            clb_count=recipe["clb_count"],
+            state_words=recipe["state_words"],
+            static_bytes=recipe["static_bytes"],
+            state_bytes=recipe["state_bytes"],
+            seed=seed,
+            uses_iobs=recipe["uses_iobs"],
+            mux_routing=recipe["mux_routing"],
+        )
 
 
 @dataclass
@@ -99,3 +137,14 @@ class FPLArray:
             return 0.0
         used = sum(1 for region in self.regions if not region.is_free)
         return used / len(self.regions)
+
+    # ---- machine-state protocol -------------------------------------------
+    def snapshot(self) -> dict:
+        return {"regions": [region.snapshot() for region in self.regions]}
+
+    def restore(self, state: dict, seed: int = 0) -> None:
+        saved = state["regions"]
+        if len(saved) != len(self.regions):
+            raise PlacementError("array snapshot does not match geometry")
+        for region, entry in zip(self.regions, saved):
+            region.restore(entry, seed=seed)

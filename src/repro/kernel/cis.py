@@ -97,6 +97,7 @@ class CustomInstructionScheduler:
             cid=cid,
             instance=instance,
             soft_address=soft_address if soft_address else None,
+            table_index=table_index,
         )
         process.register(registration)
         self.trace.registered(process.pid, cid)

@@ -93,14 +93,20 @@ class Porsche:
     # main loop
     # ------------------------------------------------------------------
     def run(self, max_cycles: int | None = None) -> KernelStats:
-        """Run until every process has finished (or ``max_cycles``)."""
+        """Run until every process has finished (or ``max_cycles``).
+
+        The last quantum before ``max_cycles`` is clamped to the remaining
+        cycle budget, so the clock stops at (or barely past) the limit
+        instead of overshooting by up to a whole quantum.
+        """
         while True:
             if max_cycles is not None and self.clock >= max_cycles:
                 return self.stats
             process = self.scheduler.pick()
             if process is None:
                 return self.stats
-            self._run_quantum(process)
+            cap = None if max_cycles is None else max_cycles - self.clock
+            self._run_quantum(process, budget_cap=cap)
 
     def run_quantum(self) -> bool:
         """Run a single quantum; returns False when nothing is runnable."""
@@ -111,10 +117,14 @@ class Porsche:
         return True
 
     # -------------------------------------------------------------------
-    def _run_quantum(self, process: Process) -> None:
+    def _run_quantum(
+        self, process: Process, budget_cap: int | None = None
+    ) -> None:
         self._switch_to(process)
         self.trace.quantum_start(process.pid)
         budget = self.config.quantum_cycles
+        if budget_cap is not None:
+            budget = min(budget, max(1, budget_cap))
         while budget > 0 and process.alive:
             try:
                 result = process.cpu.run(budget)
@@ -274,3 +284,70 @@ class Porsche:
     def _charge_kernel(self, process: Process, cycles: int) -> None:
         self.clock += cycles
         self.trace.kernel_charge(process.pid, cycles)
+
+    # -------------------------------------------------------------------
+    # machine-state protocol
+    # -------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Whole-kernel state: every process PCB, the scheduler queue,
+        the replacement policy, the coprocessor, and the trace counters.
+
+        Program images and bitstreams are not serialised — they are pure
+        functions of the experiment spec and the machine config, so
+        ``restore`` expects a kernel freshly built the same way with the
+        same programs spawned in the same order.
+        """
+        return {
+            "clock": self.clock,
+            "next_pid": self._next_pid,
+            "last_running": (
+                self._last_running.pid
+                if self._last_running is not None
+                else None
+            ),
+            "processes": {
+                str(pid): process.snapshot()
+                for pid, process in self.processes.items()
+            },
+            "scheduler": self.scheduler.snapshot(),
+            "policy": self.policy.snapshot(),
+            "coprocessor": self.coprocessor.snapshot(),
+            "counters": self.trace.counters.snapshot(),
+        }
+
+    def restore(self, state: dict) -> None:
+        saved = {int(pid): entry for pid, entry in state["processes"].items()}
+        if set(saved) != set(self.processes):
+            raise KernelError(
+                f"snapshot pids {sorted(saved)} do not match kernel "
+                f"pids {sorted(self.processes)}; spawn the same programs "
+                "in the same order before restoring"
+            )
+        for pid, process in self.processes.items():
+            process.restore(saved[pid], self.config)
+        self.scheduler.restore(state["scheduler"], self.processes)
+        self.policy.restore(state["policy"])
+        # Re-attach circuit instances to their PFU slots.  Each loaded
+        # registration names its PFU; aliases share the Registration
+        # object, so de-duplicate by identity.
+        instances: list = [None] * len(self.coprocessor.pfus)
+        for process in self.processes.values():
+            seen: set[int] = set()
+            for registration in process.registrations.values():
+                if id(registration) in seen:
+                    continue
+                seen.add(id(registration))
+                if registration.pfu_index is not None:
+                    instances[registration.pfu_index] = registration.instance
+        self.coprocessor.restore(
+            state["coprocessor"], instances, seed=self.config.seed
+        )
+        self.trace.counters.restore(state["counters"])
+        self.clock = state["clock"]
+        self._next_pid = state["next_pid"]
+        last = state["last_running"]
+        self._last_running = self.processes[last] if last is not None else None
+        # The counter sink owns per-pid stat bags; keep each PCB's alias
+        # pointed at the (mutated-in-place) view.
+        for pid, process in self.processes.items():
+            process.stats = self.trace.counters.process(pid)

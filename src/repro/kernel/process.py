@@ -49,10 +49,29 @@ class Registration:
     instance: CircuitInstance
     soft_address: int | None = None
     pfu_index: int | None = None
+    #: Index into the program's circuit table, kept so a checkpoint can
+    #: rebuild the instance from its spec instead of serialising it.
+    table_index: int | None = None
     #: Statistics.
     loads: int = 0
     evictions: int = 0
     soft_mapped: bool = False
+
+    # ---- machine-state protocol -------------------------------------------
+    def snapshot(self) -> dict:
+        return {
+            "cid": self.cid,
+            "soft_address": self.soft_address,
+            "pfu_index": self.pfu_index,
+            "table_index": self.table_index,
+            "loads": self.loads,
+            "evictions": self.evictions,
+            "soft_mapped": self.soft_mapped,
+            "instance": {
+                "words": self.instance.capture_words(),
+                "completions": self.instance.completions,
+            },
+        }
 
 
 @dataclass
@@ -99,6 +118,83 @@ class Process:
     def read_result(self, name: str) -> bytes:
         """Read a named result region from the process's memory."""
         return self.program.read_result(self.memory, name)
+
+    # ---- machine-state protocol -------------------------------------------
+    def snapshot(self) -> dict:
+        """Everything but the program image, which is rebuilt from spec.
+
+        Registrations are stored canonically (``reg.cid`` keys the entry);
+        alias CIDs map to the canonical CID so restore can re-share the
+        same :class:`Registration` object.
+        """
+        canonical = []
+        aliases = {}
+        for cid, reg in sorted(self.registrations.items()):
+            if cid == reg.cid:
+                canonical.append(reg.snapshot())
+            else:
+                aliases[str(cid)] = reg.cid
+        return {
+            "pid": self.pid,
+            "state": self.state.value,
+            "cpu": self.cpu.snapshot(),
+            "coproc_context": {
+                "regfile": list(self.coproc_context["regfile"]),
+                "operands": list(self.coproc_context["operands"]),
+            },
+            "registrations": canonical,
+            "aliases": aliases,
+            "output": list(self.output),
+            "completion_cycle": self.completion_cycle,
+            "exit_status": self.exit_status,
+            "kill_reason": self.kill_reason,
+        }
+
+    def restore(self, state: dict, config) -> None:
+        """Reinstate PCB state; circuit instances are rebuilt from the
+        program's circuit table and their captured CLB words."""
+        if state["pid"] != self.pid:
+            raise KernelError(
+                f"snapshot for pid {state['pid']} restored into "
+                f"pid {self.pid}"
+            )
+        self.state = ProcessState(state["state"])
+        self.cpu.restore(state["cpu"])
+        self.coproc_context = {
+            "regfile": list(state["coproc_context"]["regfile"]),
+            "operands": tuple(state["coproc_context"]["operands"][:3])
+            + (bool(state["coproc_context"]["operands"][3]),),
+        }
+        self.registrations = {}
+        for entry in state["registrations"]:
+            if entry["table_index"] is None:
+                raise KernelError(
+                    f"pid {self.pid}: registration for CID {entry['cid']} "
+                    "has no circuit-table index; cannot rebuild instance"
+                )
+            spec = self.program.circuit(entry["table_index"])
+            instance = spec.instantiate(
+                pid=self.pid, config=config, seed=config.seed
+            )
+            instance.restore_words(entry["instance"]["words"])
+            instance.completions = entry["instance"]["completions"]
+            registration = Registration(
+                cid=entry["cid"],
+                instance=instance,
+                soft_address=entry["soft_address"],
+                pfu_index=entry["pfu_index"],
+                table_index=entry["table_index"],
+                loads=entry["loads"],
+                evictions=entry["evictions"],
+                soft_mapped=entry["soft_mapped"],
+            )
+            self.registrations[registration.cid] = registration
+        for cid, target in state["aliases"].items():
+            self.registrations[int(cid)] = self.registrations[target]
+        self.output = list(state["output"])
+        self.completion_cycle = state["completion_cycle"]
+        self.exit_status = state["exit_status"]
+        self.kill_reason = state["kill_reason"]
 
 
 def create_process(pid: int, program: Program, config, coprocessor) -> Process:

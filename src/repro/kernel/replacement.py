@@ -40,6 +40,14 @@ class ReplacementPolicy(ABC):
     def reset(self) -> None:
         """Forget history (new experiment run)."""
 
+    # ---- machine-state protocol -------------------------------------------
+    def snapshot(self) -> dict:
+        """Stateless by default; stateful policies override."""
+        return {}
+
+    def restore(self, state: dict) -> None:
+        pass
+
 
 def _require_candidates(candidates: list[PFU]) -> None:
     if not candidates:
@@ -71,6 +79,12 @@ class RoundRobinReplacement(ReplacementPolicy):
     def reset(self) -> None:
         self._hand = 0
 
+    def snapshot(self) -> dict:
+        return {"hand": self._hand}
+
+    def restore(self, state: dict) -> None:
+        self._hand = state["hand"]
+
 
 @dataclass
 class RandomReplacement(ReplacementPolicy):
@@ -82,6 +96,15 @@ class RandomReplacement(ReplacementPolicy):
     def choose(self, candidates: list[PFU], bank: PFUBank) -> PFU:
         _require_candidates(candidates)
         return self.rng.choice(candidates)
+
+    def snapshot(self) -> dict:
+        version, internal, gauss_next = self.rng.getstate()
+        return {"rng": [version, list(internal), gauss_next]}
+
+    def restore(self, state: dict) -> None:
+        version, internal, gauss_next = state["rng"]
+        # JSON round-trips tuples as lists; setstate() wants tuples back.
+        self.rng.setstate((version, tuple(internal), gauss_next))
 
 
 @dataclass
@@ -115,6 +138,19 @@ class _CounterTrackingPolicy(ReplacementPolicy):
         self._last_used.clear()
         self._referenced.clear()
         self._time = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "last_used": {str(k): v for k, v in self._last_used.items()},
+            "referenced": {str(k): v for k, v in self._referenced.items()},
+            "time": self._time,
+        }
+
+    def restore(self, state: dict) -> None:
+        # JSON stringifies int dict keys; convert them back.
+        self._last_used = {int(k): v for k, v in state["last_used"].items()}
+        self._referenced = {int(k): v for k, v in state["referenced"].items()}
+        self._time = state["time"]
 
 
 @dataclass
@@ -166,6 +202,15 @@ class SecondChanceReplacement(_CounterTrackingPolicy):
     def reset(self) -> None:
         super().reset()
         self._hand = 0
+
+    def snapshot(self) -> dict:
+        state = super().snapshot()
+        state["hand"] = self._hand
+        return state
+
+    def restore(self, state: dict) -> None:
+        super().restore(state)
+        self._hand = state["hand"]
 
 
 #: Registry used by experiment configuration.

@@ -67,3 +67,20 @@ class RoundRobinScheduler:
 
     def __len__(self) -> int:
         return len(self._queue)
+
+    # ---- machine-state protocol -------------------------------------------
+    def snapshot(self) -> dict:
+        """Queue order as pids — verbatim, including dead processes that
+        ``pick`` has not yet lazily dropped."""
+        return {
+            "queue": [process.pid for process in self._queue],
+            "last_pid": self.last_pid,
+            "picks": self.picks,
+            "switches": self.switches,
+        }
+
+    def restore(self, state: dict, processes: dict[int, Process]) -> None:
+        self._queue = deque(processes[pid] for pid in state["queue"])
+        self.last_pid = state["last_pid"]
+        self.picks = state["picks"]
+        self.switches = state["switches"]

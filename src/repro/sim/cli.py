@@ -5,7 +5,11 @@ Commands:
 * ``fig2`` — regenerate Figure 2 (basic scheduling test);
 * ``fig3`` — regenerate Figure 3 (software dispatch test);
 * ``speedup`` — the accelerated-vs-unaccelerated comparison (§5.1.1);
-* ``run`` — a single experiment point with full statistics.
+* ``run`` — a single experiment point with full statistics;
+* ``checkpoint`` / ``resume`` — run a point partway, snapshot the whole
+  machine to JSON, and finish it later (in any interpreter) with a
+  bit-identical outcome;
+* ``trace`` — one point with event tracing and timelines.
 
 All commands accept ``--scale`` (default 1e-3; smaller is faster and
 coarser) and write CSV next to the plain-text rendering when ``--csv``
@@ -21,12 +25,19 @@ import argparse
 import sys
 import time
 
+from ..machine import Machine
 from ..trace.sinks import JsonlSink, RingBufferSink
 from ..trace.timeline import TimelineAggregator
 from .experiment import ExperimentSpec, run_experiment
 from .figures import contention_knees, figure2, figure3, speedup_table
 from .report import render_figure, render_speedup, render_table, render_trace
-from .runner import ResultCache, SweepRunner, default_cache_dir
+from .runner import (
+    CheckpointStore,
+    ResultCache,
+    SweepRunner,
+    default_cache_dir,
+    default_checkpoint_dir,
+)
 from .scaling import DEFAULT_SCALE
 
 
@@ -76,11 +87,21 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="ignore and do not update the on-disk result cache "
              f"(default location: {default_cache_dir()})",
     )
+    parser.add_argument(
+        "--warm-start", action="store_true",
+        help="resume executed points from stored machine checkpoints and "
+             "capture checkpoints for future runs (default store: "
+             f"{default_checkpoint_dir()}); results are bit-identical "
+             "either way",
+    )
 
 
 def _make_runner(args) -> SweepRunner:
     cache = None if args.no_cache else ResultCache(default_cache_dir())
-    return SweepRunner(jobs=args.jobs, cache=cache)
+    checkpoints = (
+        CheckpointStore(default_checkpoint_dir()) if args.warm_start else None
+    )
+    return SweepRunner(jobs=args.jobs, cache=cache, checkpoints=checkpoints)
 
 
 def _report_sweep(runner: SweepRunner, args, stream=sys.stderr) -> None:
@@ -88,13 +109,29 @@ def _report_sweep(runner: SweepRunner, args, stream=sys.stderr) -> None:
     if args.quiet:
         return
     stats = runner.stats
+    warm = (
+        f"warm-started {stats.warm_started} | captured {stats.captured} | "
+        if runner.checkpoints is not None
+        else ""
+    )
     print(file=stream)
     print(
         f"sweep: {stats.points} points | cache hits {stats.cache_hits} | "
-        f"executed {stats.executed} | {stats.elapsed:.2f}s | "
+        f"executed {stats.executed} | {warm}{stats.elapsed:.2f}s | "
         f"jobs {runner.jobs}",
         file=stream,
     )
+
+
+def _print_outcome(outcome) -> None:
+    spec = outcome.spec
+    print(f"workload      : {spec.workload} x{spec.instances}")
+    print(f"makespan      : {outcome.makespan:,} cycles")
+    print(f"completions   : {[f'{c:,}' for c in outcome.completions]}")
+    print(f"context sw    : {outcome.kernel_stats.context_switches}")
+    print(f"faults        : {outcome.kernel_stats.fault_actions}")
+    for key, value in outcome.cis.items():
+        print(f"cis.{key:<22}: {value:,}")
 
 
 def _emit(figure, args) -> None:
@@ -146,6 +183,45 @@ def main(argv: list[str] | None = None) -> int:
         choices=("proteus", "prisc", "memmap"),
     )
 
+    pc = sub.add_parser(
+        "checkpoint",
+        help="run one experiment point partway and write a machine "
+             "checkpoint (JSON) that `repro resume` can finish",
+    )
+    _add_common(pc)
+    pc.add_argument("workload", choices=("echo", "alpha", "twofish"))
+    pc.add_argument("instances", type=int)
+    pc.add_argument("out", help="checkpoint file to write")
+    pc.add_argument("--quantum-ms", type=float, default=10.0)
+    pc.add_argument(
+        "--policy", default="round_robin",
+        choices=("round_robin", "random", "lru", "second_chance"),
+    )
+    pc.add_argument("--soft", action="store_true",
+                    help="defer to software alternatives when the array is full")
+    pc.add_argument(
+        "--architecture", default="proteus",
+        choices=("proteus", "prisc", "memmap"),
+    )
+    pc.add_argument(
+        "--at-quanta", type=int, default=64, metavar="N",
+        help="checkpoint after N scheduler quanta (default 64); the "
+             "machine may finish earlier, in which case no checkpoint "
+             "is written",
+    )
+
+    pz = sub.add_parser(
+        "resume",
+        help="resume a `repro checkpoint` file, run it to completion, "
+             "and report the outcome (bit-identical to an "
+             "uninterrupted run)",
+    )
+    pz.add_argument("checkpoint", help="checkpoint file to resume")
+    pz.add_argument(
+        "--verify", action="store_true",
+        help="check every process output against the reference models",
+    )
+
     pt = sub.add_parser(
         "trace",
         help="run one experiment point with event tracing and show "
@@ -171,7 +247,10 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     args = parser.parse_args(argv)
-    progress = None if args.quiet else _progress(sys.stderr)
+    # ``resume`` takes no common options; treat it as always-quiet.
+    progress = (
+        None if getattr(args, "quiet", True) else _progress(sys.stderr)
+    )
 
     if args.command == "fig2":
         runner = _make_runner(args)
@@ -224,13 +303,42 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
         )
         outcome = run_experiment(spec, verify=args.verify)
+        _print_outcome(outcome)
+    elif args.command == "checkpoint":
+        spec = ExperimentSpec(
+            workload=args.workload,
+            instances=args.instances,
+            quantum_ms=args.quantum_ms,
+            policy=args.policy,
+            soft=args.soft,
+            architecture=args.architecture,
+            scale=args.scale,
+            seed=args.seed,
+        )
+        machine = Machine.from_spec(spec)
+        machine.spawn_instances()
+        executed = machine.run_quanta(args.at_quanta)
+        if machine.finished:
+            print(
+                f"machine finished after {executed} quanta "
+                f"({machine.clock:,} cycles); nothing left to checkpoint",
+                file=sys.stderr,
+            )
+            return 1
+        machine.save_checkpoint(args.out)
         print(f"workload      : {spec.workload} x{spec.instances}")
-        print(f"makespan      : {outcome.makespan:,} cycles")
-        print(f"completions   : {[f'{c:,}' for c in outcome.completions]}")
-        print(f"context sw    : {outcome.kernel_stats.context_switches}")
-        print(f"faults        : {outcome.kernel_stats.fault_actions}")
-        for key, value in outcome.cis.items():
-            print(f"cis.{key:<22}: {value:,}")
+        print(f"checkpointed  : after {executed} quanta at "
+              f"{machine.clock:,} cycles")
+        print(f"written to    : {args.out}")
+    elif args.command == "resume":
+        machine = Machine.load_checkpoint(args.checkpoint)
+        spec = machine.spec
+        assert spec is not None
+        resumed_from = machine.clock
+        machine.run()
+        outcome = machine.outcome(verify=args.verify)
+        print(f"resumed from  : {resumed_from:,} cycles")
+        _print_outcome(outcome)
     elif args.command == "trace":
         spec = ExperimentSpec(
             workload=args.workload,

@@ -19,13 +19,11 @@ from typing import Sequence
 from ..apps.registry import get_workload
 from ..apps.workloads import WorkloadVariant
 from ..baselines.memmap import memmap_config
-from ..baselines.prisc import PriscPorsche
 from ..config import MachineConfig
 from ..cpu.program import Program
 from ..errors import ExperimentError
 from ..kernel.porsche import KernelStats, Porsche
-from ..kernel.process import ProcessState
-from ..kernel.replacement import make_policy
+from ..machine import Machine, _spec_from_dict
 from .scaling import DEFAULT_SCALE, scaled_config
 
 #: Supported architecture baselines.
@@ -152,63 +150,59 @@ def _cached_program(
 
 def build_kernel(spec: ExperimentSpec) -> Porsche:
     """Construct the kernel (or baseline kernel) for a spec."""
-    config = spec.build_config()
-    policy = make_policy(spec.policy, seed=spec.data_seed + 0x5EED)
-    if spec.architecture == "prisc":
-        return PriscPorsche(config, policy)
-    return Porsche(config, policy)
+    return Machine.from_spec(spec).kernel
 
 
 def run_experiment(
     spec: ExperimentSpec,
     verify: bool = True,
     sinks: Sequence = (),
+    checkpoint: dict | None = None,
 ) -> RunOutcome:
     """Run one experiment point to completion.
 
     ``sinks`` — trace event sinks (ring buffers, JSONL writers, timeline
     aggregators) attached to the machine's event bus before any process
     is spawned, so they observe the complete run.
+
+    ``checkpoint`` — an optional :meth:`Machine.checkpoint` document for
+    this same spec: the run warm-starts from it instead of cycle 0.
+    Checkpoints are exact, so the outcome is bit-identical either way.
     """
-    kernel = build_kernel(spec)
-    for sink in sinks:
-        kernel.trace.attach(sink)
-    items = spec.resolve_items()
-    workload = get_workload(spec.workload)
-    program = _cached_program(
-        spec.workload, items, spec.variant, spec.register_soft, spec.data_seed
+    outcome, _ = run_experiment_capturing(
+        spec, verify=verify, sinks=sinks, checkpoint=checkpoint, capture=False
     )
-    processes = [kernel.spawn(program) for _ in range(spec.instances)]
-    kernel.run()
+    return outcome
 
-    completions = []
-    for process in processes:
-        if process.state is not ProcessState.EXITED:
-            raise ExperimentError(
-                f"{spec.workload} instance pid={process.pid} ended "
-                f"{process.state.value}: {process.kill_reason}"
-            )
-        assert process.completion_cycle is not None
-        completions.append(process.completion_cycle)
 
-    verified = True
-    if verify:
-        expected = workload.expected(items, seed=spec.data_seed)
-        for process in processes:
-            if process.read_result(workload.result_name) != expected:
-                verified = False
-                raise ExperimentError(
-                    f"{spec.workload} pid={process.pid} produced wrong output"
-                )
+def run_experiment_capturing(
+    spec: ExperimentSpec,
+    verify: bool = True,
+    sinks: Sequence = (),
+    checkpoint: dict | None = None,
+    capture: bool = False,
+) -> tuple[RunOutcome, dict | None]:
+    """Like :func:`run_experiment`, optionally capturing a checkpoint.
 
-    return RunOutcome(
-        spec=spec,
-        makespan=max(completions),
-        completions=completions,
-        verified=verified,
-        kernel_stats=kernel.stats,
-        cis=asdict(kernel.cis.stats),
-        process_cycles=[
-            (p.stats.cpu_cycles, p.stats.kernel_cycles) for p in processes
-        ],
-    )
+    With ``capture`` the machine snapshots itself at doubling quantum
+    counts and the latest snapshot is returned alongside the outcome (or
+    ``None`` for short runs) — the sweep runner stores it to warm-start
+    later re-runs of the same point.
+    """
+    if checkpoint is not None and (
+        _spec_from_dict(checkpoint["spec"]).spec_key() != spec.spec_key()
+    ):
+        # A stale or foreign checkpoint never poisons a run — fall back
+        # to a cold start.
+        checkpoint = None
+    if checkpoint is not None:
+        machine = Machine.resume(checkpoint, sinks=sinks)
+    else:
+        machine = Machine.from_spec(spec, sinks=sinks)
+        machine.spawn_instances()
+    captured = None
+    if capture and checkpoint is None:
+        captured = machine.run_capturing()
+    else:
+        machine.run()
+    return machine.outcome(verify=verify), captured

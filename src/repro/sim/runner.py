@@ -27,6 +27,7 @@ the parent as results arrive.
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import os
 import pickle
@@ -38,7 +39,12 @@ from pathlib import Path
 from typing import Callable, Sequence
 
 from ..errors import ExperimentError
-from .experiment import ExperimentSpec, RunOutcome, run_experiment
+from ..machine import CHECKPOINT_FORMAT, CHECKPOINT_VERSION
+from .experiment import (
+    ExperimentSpec,
+    RunOutcome,
+    run_experiment_capturing,
+)
 
 #: Bump when the semantics of :class:`RunOutcome` (or of running an
 #: experiment point) change in a way that stales previously cached
@@ -118,6 +124,61 @@ class ResultCache:
             raise
 
 
+def default_checkpoint_dir() -> Path:
+    """Checkpoint store location: a sibling tree inside the cache dir."""
+    return default_cache_dir() / "checkpoints"
+
+
+class CheckpointStore:
+    """JSON-per-point machine checkpoints keyed by ``spec_key``.
+
+    Unlike the result cache the key is *verify-independent*: output
+    verification only reads end state, so the machine's evolution — and
+    hence any mid-run checkpoint — is identical either way.  Load
+    failures are misses; a stale checkpoint is additionally rejected by
+    the spec-key cross-check in
+    :func:`~repro.sim.experiment.run_experiment_capturing`.
+    """
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+
+    def key(self, spec: ExperimentSpec) -> str:
+        blob = f"{spec.spec_key()}:ckpt:v={CHECKPOINT_VERSION}"
+        return sha256(blob.encode("utf-8")).hexdigest()
+
+    def path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, spec: ExperimentSpec) -> dict | None:
+        path = self.path(self.key(spec))
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                checkpoint = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(checkpoint, dict) or (
+            checkpoint.get("format") != CHECKPOINT_FORMAT
+        ):
+            return None
+        return checkpoint
+
+    def store(self, spec: ExperimentSpec, checkpoint: dict) -> None:
+        path = self.path(self.key(spec))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(checkpoint, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+
 @dataclass
 class SweepStats:
     """Accumulated accounting across every sweep a runner executed."""
@@ -125,14 +186,25 @@ class SweepStats:
     points: int = 0
     executed: int = 0
     cache_hits: int = 0
+    #: Executed points that resumed from a stored machine checkpoint.
+    warm_started: int = 0
+    #: Executed points that produced a checkpoint for future warm starts.
+    captured: int = 0
     elapsed: float = 0.0
 
 
-def _run_indexed(payload: tuple[int, ExperimentSpec, bool]):
+def _run_indexed(
+    payload: tuple[int, ExperimentSpec, bool, dict | None, bool]
+):
     """Pool worker: run one point, echoing its submission index back so
-    the parent can merge out-of-order completions deterministically."""
-    index, spec, verify = payload
-    return index, run_experiment(spec, verify=verify)
+    the parent can merge out-of-order completions deterministically.
+    Workers never touch the stores: the warm-start checkpoint arrives in
+    the payload and any captured checkpoint rides back to the parent."""
+    index, spec, verify, checkpoint, capture = payload
+    outcome, captured = run_experiment_capturing(
+        spec, verify=verify, checkpoint=checkpoint, capture=capture
+    )
+    return index, outcome, captured
 
 
 class SweepRunner:
@@ -145,11 +217,17 @@ class SweepRunner:
     the output is bit-identical either way.
     """
 
-    def __init__(self, jobs: int = 1, cache: ResultCache | None = None) -> None:
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: ResultCache | None = None,
+        checkpoints: CheckpointStore | None = None,
+    ) -> None:
         if jobs < 1:
             raise ExperimentError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.cache = cache
+        self.checkpoints = checkpoints
         self.stats = SweepStats()
 
     def run(
@@ -164,6 +242,7 @@ class SweepRunner:
         done = 0
 
         pending: list[int] = []
+        warm: dict[int, dict] = {}
         for index, spec in enumerate(specs):
             hit = self.cache.load(spec, verify) if self.cache else None
             if hit is not None:
@@ -173,28 +252,46 @@ class SweepRunner:
                 if progress is not None:
                     progress(done, total, index, True)
             else:
+                if self.checkpoints is not None:
+                    checkpoint = self.checkpoints.load(spec)
+                    if checkpoint is not None:
+                        warm[index] = checkpoint
                 pending.append(index)
 
-        def finish(index: int, outcome: RunOutcome) -> None:
+        def finish(
+            index: int, outcome: RunOutcome, captured: dict | None
+        ) -> None:
             nonlocal done
             results[index] = outcome
             done += 1
             self.stats.executed += 1
+            if index in warm:
+                self.stats.warm_started += 1
             if self.cache is not None:
                 self.cache.store(specs[index], verify, outcome)
+            if captured is not None and self.checkpoints is not None:
+                self.checkpoints.store(specs[index], captured)
+                self.stats.captured += 1
             if progress is not None:
                 progress(done, total, index, False)
 
+        def payload(index: int):
+            # Points without a stored checkpoint capture one; points
+            # resuming from a checkpoint already have one on disk.
+            capture = self.checkpoints is not None and index not in warm
+            return (index, specs[index], verify, warm.get(index), capture)
+
         if len(pending) > 1 and self.jobs > 1:
-            payloads = [(i, specs[i], verify) for i in pending]
+            payloads = [payload(i) for i in pending]
             with self._pool(min(self.jobs, len(pending))) as pool:
-                for index, outcome in pool.imap_unordered(
+                for index, outcome, captured in pool.imap_unordered(
                     _run_indexed, payloads, chunksize=1
                 ):
-                    finish(index, outcome)
+                    finish(index, outcome, captured)
         else:
             for index in pending:
-                finish(index, run_experiment(specs[index], verify=verify))
+                __, outcome, captured = _run_indexed(payload(index))
+                finish(index, outcome, captured)
 
         self.stats.points += total
         self.stats.elapsed += time.perf_counter() - start

@@ -15,15 +15,26 @@ sink is attached.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from . import events as ev
 
 __all__ = ["KernelStats", "CISStats", "ProcessStats", "CounterSink"]
 
 
+class _StatBag:
+    """Machine-state protocol shared by the counter dataclasses."""
+
+    def snapshot(self) -> dict:
+        return asdict(self)
+
+    def restore(self, state: dict) -> None:
+        for key, value in state.items():
+            setattr(self, key, dict(value) if isinstance(value, dict) else value)
+
+
 @dataclass
-class KernelStats:
+class KernelStats(_StatBag):
     """Run-level accounting, derived from the event stream."""
 
     total_cycles: int = 0
@@ -41,7 +52,7 @@ class KernelStats:
 
 
 @dataclass
-class CISStats:
+class CISStats(_StatBag):
     """Management-cost accounting across a whole run."""
 
     registrations: int = 0
@@ -64,7 +75,7 @@ class CISStats:
 
 
 @dataclass
-class ProcessStats:
+class ProcessStats(_StatBag):
     """Per-process accounting for the evaluation harness."""
 
     cpu_cycles: int = 0
@@ -198,6 +209,33 @@ class CounterSink:
     ) -> None:
         if killed:
             self.kernel.kills += 1
+
+    # ---- machine-state protocol --------------------------------------------
+    def snapshot(self) -> dict:
+        return {
+            "kernel": self.kernel.snapshot(),
+            "cis": self.cis.snapshot(),
+            "dispatch": dict(self.dispatch),
+            "process": {
+                str(pid): stats.snapshot()
+                for pid, stats in self._process.items()
+            },
+        }
+
+    def restore(self, state: dict) -> None:
+        """Reinstate counter values **in place** — the kernel and every
+        PCB alias the stat-bag objects owned here, so they must be
+        mutated, not replaced.  JSON stringifies pid keys; convert back.
+        """
+        self.kernel.restore(state["kernel"])
+        self.cis.restore(state["cis"])
+        self.dispatch = {"hit": 0, "soft": 0, "fault": 0}
+        self.dispatch.update(state["dispatch"])
+        blank = ProcessStats().snapshot()
+        for pid, stats in self._process.items():
+            stats.restore(state["process"].get(str(pid), blank))
+        for key, entry in state["process"].items():
+            self.process(int(key)).restore(entry)
 
     # ---- replay ------------------------------------------------------------
     def consume(self, event: ev.TraceEvent) -> None:

@@ -3,6 +3,7 @@ unaccelerated runs."""
 
 import pytest
 
+from conftest import adder_spec
 from repro.apps.registry import get_workload
 from repro.baselines.memmap import memmap_config
 from repro.baselines.prisc import PriscPorsche
@@ -12,6 +13,7 @@ from repro.baselines.unaccelerated import (
     speedup,
 )
 from repro.config import MachineConfig
+from repro.cpu.program import Program
 from repro.kernel.porsche import Porsche
 
 CONFIG = MachineConfig(
@@ -19,6 +21,55 @@ CONFIG = MachineConfig(
     quantum_ms=0.5,
     config_bus_bytes_per_cycle=512,
 )
+
+# Pure CPU work, no circuits: PRISC's flush has nothing to wipe, so the
+# schedule is identical to stock POrSCHE and only the flush charge shows.
+SPIN = """
+main:
+    MOV r1, #800
+loop:
+    SUB r1, r1, #1
+    CMP r1, #0
+    BNE loop
+    MOV r0, #0
+    SWI #0
+"""
+
+# Register one circuit, then invoke it continuously: every quantum
+# touches the (loaded, never evicted) circuit at least once.
+CDP_LOOP = """
+main:
+    MOV r0, #1          ; CID
+    MOV r1, #0          ; table index
+    MOV r2, #0          ; no software alternative
+    SWI #1
+    MOV r4, #200        ; iterations
+    MOV r0, #3
+    MOV r1, #4
+    MCR f0, r0
+    MCR f1, r1
+loop:
+    CDP #1, f2, f0, f1
+    SUB r4, r4, #1
+    CMP r4, #0
+    BNE loop
+    MOV r0, #0
+    SWI #0
+"""
+
+
+def _run_pair(source, circuits=(), instances=2):
+    kernels = (Porsche(CONFIG), PriscPorsche(CONFIG))
+    spawned = []
+    for kernel in kernels:
+        spawned.append([
+            kernel.spawn(Program.from_source(
+                f"p{i}", source, circuit_table=list(circuits)
+            ))
+            for i in range(instances)
+        ])
+        kernel.run()
+    return kernels, spawned
 
 
 class TestPrisc:
@@ -45,6 +96,42 @@ class TestPrisc:
         expected = workload.expected(16, seed=2)
         assert a.read_result("dst") == expected
         assert b.read_result("dst") == expected
+
+    def test_each_context_switch_charges_flush_cycles(self):
+        """Every context switch costs exactly FLUSH_CYCLES of kernel
+        time on top of the stock switch — no more, no less."""
+        (proteus, prisc), (pp, qp) = _run_pair(SPIN)
+        # No circuits in play: the flush wipes nothing, so both kernels
+        # run the identical schedule and the charge is isolated.
+        assert prisc.stats.context_switches == proteus.stats.context_switches
+        switches = prisc.stats.context_switches
+        assert switches > 4
+        proteus_kernel = sum(p.stats.kernel_cycles for p in pp)
+        prisc_kernel = sum(p.stats.kernel_cycles for p in qp)
+        flush_total = PriscPorsche.FLUSH_CYCLES * switches
+        assert prisc_kernel - proteus_kernel == flush_total
+        assert prisc.clock - proteus.clock == flush_total
+
+    def test_one_mapping_fault_per_flushed_mapping_per_quantum(self):
+        """A loaded circuit faults exactly once per quantum under PRISC:
+        the flush costs a mapping reinstall, never a reload."""
+        (proteus, prisc), __ = _run_pair(CDP_LOOP, circuits=[adder_spec()])
+        # Both kernels: one load per process, nothing evicted.
+        for kernel in (proteus, prisc):
+            assert kernel.cis.stats.loads == 2
+            assert kernel.cis.stats.evictions == 0
+        # Stock POrSCHE's PID-tagged TLB never mapping-faults.
+        assert proteus.cis.stats.mapping_faults == 0
+        assert proteus.stats.fault_actions == {"load": 2}
+        # PRISC: every quantum whose circuit was already loaded faults
+        # exactly once to reinstall the mapping; the two first-touch
+        # quanta fault as loads instead.  No other faults exist.
+        quanta = prisc.stats.quanta
+        assert quanta > 4
+        assert prisc.cis.stats.mapping_faults == quanta - 2
+        assert prisc.stats.fault_actions == {
+            "load": 2, "mapping": quanta - 2,
+        }
 
     def test_no_extra_loads_just_mapping_faults(self):
         workload = get_workload("alpha")

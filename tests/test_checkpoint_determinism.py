@@ -1,0 +1,89 @@
+"""Property test: checkpoint/resume is exact at *every* quantum boundary.
+
+One small figure-2 point is run twice: once uninterrupted (the
+reference), once snapshotting at each quantum boundary.  Every snapshot
+is pushed through a JSON text round-trip, resumed into a fresh
+:class:`~repro.machine.Machine`, and run to completion.  All of them
+must land on the reference makespan, kernel statistics, and per-process
+accounting — there is no boundary at which state is lost.
+"""
+
+import json
+
+import pytest
+
+from repro.machine import Machine
+from repro.sim.experiment import ExperimentSpec
+
+#: Small enough that every-boundary resume stays fast (~80 quanta),
+#: large enough to cross context switches, faults, loads and exits.
+POINT = ExperimentSpec(
+    workload="alpha", instances=2, quantum_ms=20.0, scale=1 / 16000
+)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    machine = Machine.from_spec(POINT)
+    machine.spawn_instances()
+    machine.run()
+    return machine
+
+
+@pytest.fixture(scope="module")
+def boundary_checkpoints():
+    """One checkpoint per quantum boundary of the reference schedule."""
+    machine = Machine.from_spec(POINT)
+    machine.spawn_instances()
+    checkpoints = []
+    while machine.run_quantum():
+        checkpoints.append(machine.checkpoint())
+    return checkpoints
+
+
+def finish(checkpoint: dict) -> Machine:
+    machine = Machine.resume(checkpoint)
+    machine.run()
+    return machine
+
+
+class TestEveryBoundary:
+    def test_covers_a_non_trivial_schedule(self, reference,
+                                           boundary_checkpoints):
+        assert len(boundary_checkpoints) == reference.stats.quanta
+        assert len(boundary_checkpoints) > 20
+        assert reference.stats.context_switches > 2
+        assert reference.stats.faults > 0
+
+    def test_every_boundary_resumes_bit_identical(self, reference,
+                                                  boundary_checkpoints):
+        expected = reference.outcome()
+        for index, checkpoint in enumerate(boundary_checkpoints):
+            resumed = finish(json.loads(json.dumps(checkpoint)))
+            outcome = resumed.outcome()
+            boundary = f"boundary {index + 1}/{len(boundary_checkpoints)}"
+            assert outcome.makespan == expected.makespan, boundary
+            assert outcome.completions == expected.completions, boundary
+            assert outcome.kernel_stats == expected.kernel_stats, boundary
+            assert outcome.cis == expected.cis, boundary
+            assert outcome.process_cycles == expected.process_cycles, boundary
+
+    def test_json_reload_equals_in_memory(self, boundary_checkpoints):
+        """A snapshot that went through JSON text is the same document —
+        and resumes to the same machine — as the in-memory dict."""
+        checkpoint = boundary_checkpoints[len(boundary_checkpoints) // 2]
+        reloaded = json.loads(json.dumps(checkpoint))
+        assert reloaded == checkpoint
+
+        from_memory = finish(checkpoint)
+        from_text = finish(reloaded)
+        assert from_memory.clock == from_text.clock
+        assert from_memory.stats == from_text.stats
+        assert from_memory.outcome() == from_text.outcome()
+
+    def test_final_boundary_is_the_finished_machine(self, reference,
+                                                    boundary_checkpoints):
+        resumed = Machine.resume(boundary_checkpoints[-1])
+        assert resumed.finished
+        assert resumed.clock == reference.clock
+        assert resumed.outcome() == reference.outcome()

@@ -55,6 +55,26 @@ class TestLifecycle:
         assert kernel.clock >= 5_000
         assert kernel.clock < 50_000
 
+    def test_max_cycles_clamps_the_final_quantum(self, config):
+        """The last quantum shrinks to the remaining budget: with
+        10,000-cycle quanta and a 5,000-cycle limit, an unclamped run
+        would overshoot by ~5,000 cycles."""
+        kernel = Porsche(config.derive(quantum_ms=10.0))
+        kernel.spawn(program("main:\n  B main"))
+        kernel.run(max_cycles=5_000)
+        assert kernel.clock >= 5_000
+        # Only kernel charges (one context switch) and the atomic retire
+        # of the in-flight instruction may spill past the limit, never a
+        # whole quantum of CPU work.
+        assert kernel.clock <= 5_000 + config.context_switch_cycles + 4
+
+    def test_max_cycles_already_reached_is_a_no_op(self, kernel):
+        kernel.spawn(program("main:\n  B main"))
+        kernel.run(max_cycles=2_000)
+        clock = kernel.clock
+        kernel.run(max_cycles=2_000)
+        assert kernel.clock == clock
+
     def test_halt_also_exits(self, kernel):
         process = kernel.spawn(program("MOV r0, #7\nHALT"))
         kernel.run()

@@ -8,9 +8,18 @@ import pytest
 
 import repro.sim.runner as runner_module
 from repro.errors import ExperimentError
-from repro.sim.experiment import ExperimentSpec, run_experiment
+from repro.sim.experiment import (
+    ExperimentSpec,
+    run_experiment,
+    run_experiment_capturing,
+)
 from repro.sim.figures import figure2
-from repro.sim.runner import RESULTS_VERSION, ResultCache, SweepRunner
+from repro.sim.runner import (
+    RESULTS_VERSION,
+    CheckpointStore,
+    ResultCache,
+    SweepRunner,
+)
 
 SCALE = 1 / 8000
 
@@ -84,9 +93,11 @@ class TestResultCache:
 
         def counting(point, verify=False, **kwargs):
             calls.append(point)
-            return run_experiment(point, verify=verify, **kwargs)
+            return run_experiment_capturing(point, verify=verify, **kwargs)
 
-        monkeypatch.setattr(runner_module, "run_experiment", counting)
+        monkeypatch.setattr(
+            runner_module, "run_experiment_capturing", counting
+        )
         point = spec()
         cold = SweepRunner(cache=ResultCache(tmp_path))
         first = cold.run([point])
@@ -105,9 +116,11 @@ class TestResultCache:
 
         def counting(point, verify=False, **kwargs):
             calls.append(point)
-            return run_experiment(point, verify=verify, **kwargs)
+            return run_experiment_capturing(point, verify=verify, **kwargs)
 
-        monkeypatch.setattr(runner_module, "run_experiment", counting)
+        monkeypatch.setattr(
+            runner_module, "run_experiment_capturing", counting
+        )
         cache = ResultCache(tmp_path)
         SweepRunner(cache=cache).run([spec()])
         SweepRunner(cache=cache).run([spec(quantum_ms=2.0)])
@@ -138,6 +151,65 @@ class TestResultCache:
         monkeypatch.setattr(runner_module, "RESULTS_VERSION",
                             RESULTS_VERSION + 1)
         assert cache.key(spec(), verify=False) != before
+
+
+class TestCheckpointStore:
+    def test_warm_start_reproduces_cold_outcome(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        point = spec()
+
+        cold = SweepRunner(checkpoints=store)
+        (first,) = cold.run([point])
+        assert cold.stats.captured == 1
+        assert cold.stats.warm_started == 0
+        assert store.load(point) is not None
+
+        warm = SweepRunner(checkpoints=store)
+        (second,) = warm.run([point])
+        assert warm.stats.warm_started == 1
+        assert warm.stats.captured == 0  # resumed points don't re-capture
+        assert second == first
+
+    def test_warm_figure_byte_identical(self, tmp_path):
+        """A warm-started sweep emits the byte-identical figure CSV —
+        capture fans out over a pool, resume runs serially."""
+        reference = tiny_fig2().to_csv()
+        store = CheckpointStore(tmp_path / "ckpt")
+        capture = SweepRunner(jobs=2, checkpoints=store)
+        assert tiny_fig2(runner=capture).to_csv() == reference
+        assert capture.stats.captured == 2
+
+        warm = SweepRunner(checkpoints=store)
+        assert tiny_fig2(runner=warm).to_csv() == reference
+        assert warm.stats.warm_started == 2
+
+    def test_stale_checkpoint_falls_back_to_cold(self, tmp_path):
+        """A checkpoint whose embedded spec disagrees is ignored, not
+        trusted: the point restarts cold and stays correct."""
+        store = CheckpointStore(tmp_path / "ckpt")
+        point, other = spec(), spec(instances=2)
+        SweepRunner(checkpoints=store).run([other])
+        foreign = store.load(other)
+        assert foreign is not None
+        store.store(point, foreign)  # wrong document under point's key
+
+        (reference,) = SweepRunner().run([point])
+        (outcome,) = SweepRunner(checkpoints=store).run([point])
+        assert outcome == reference
+
+    def test_corrupt_checkpoint_is_a_miss(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        point = spec()
+        path = store.path(store.key(point))
+        path.parent.mkdir(parents=True)
+        path.write_text("not json")
+        assert store.load(point) is None
+
+        runner = SweepRunner(checkpoints=store)
+        runner.run([point])
+        assert runner.stats.warm_started == 0
+        assert runner.stats.captured == 1  # replaced the corrupt entry
+        assert store.load(point) is not None
 
 
 class TestProgress:
