@@ -48,8 +48,8 @@ def _run_solo(
         )
     verified = True
     if verify:
-        verified = process.read_result(workload.result_name) == (
-            workload.expected(items, seed=seed)
+        verified = process.result_matches(
+            workload.result_name, workload.expected(items, seed=seed)
         )
         if not verified:
             raise ExperimentError(

@@ -22,6 +22,7 @@ for the full-size clock if you have the patience.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from typing import Any
 
@@ -39,6 +40,17 @@ PAPER_PFU_CLBS = 500
 #: (10 ms quantum = 1e6 cycles; completion times of 1e8..1e9 cycles are
 #: 1..10 s of wall-clock for 1..8 processes).
 PAPER_CYCLES_PER_MS = 100_000
+
+#: CPU execution tiers, fastest first (see :mod:`repro.cpu`):
+#: ``block`` fuses straight-line runs into superinstruction closures,
+#: ``closure`` compiles one closure per instruction, ``step`` is the
+#: readable reference interpreter.  All three are bit-identical.
+EXEC_TIERS = ("block", "closure", "step")
+
+
+def _default_exec_tier() -> str:
+    """Tier default, overridable per run via ``REPRO_EXEC_TIER``."""
+    return os.environ.get("REPRO_EXEC_TIER", "block")
 
 
 @dataclass(frozen=True)
@@ -137,6 +149,15 @@ class MachineConfig:
     #: load pays the full configuration transfer.
     reuse_resident_static: bool = False
 
+    # ---- simulator implementation knobs ----------------------------------
+    #: CPU interpreter tier (``block`` | ``closure`` | ``step``).  Purely a
+    #: simulator-speed choice: every tier produces bit-identical cycle
+    #: accounting, trace counters and memory images, so results and
+    #: checkpoints are interchangeable across tiers (and the tier is
+    #: excluded from result-cache keys).  Defaults to the fastest tier;
+    #: set ``REPRO_EXEC_TIER`` to override without touching code.
+    exec_tier: str = field(default_factory=_default_exec_tier)
+
     def __post_init__(self) -> None:
         positive = (
             "cycles_per_ms",
@@ -164,6 +185,10 @@ class MachineConfig:
         for name in non_negative:
             if getattr(self, name) < 0:
                 raise ConfigurationError(f"{name} must be non-negative")
+        if self.exec_tier not in EXEC_TIERS:
+            raise ConfigurationError(
+                f"exec_tier {self.exec_tier!r} not in {EXEC_TIERS}"
+            )
 
     # ---- derived quantities -------------------------------------------------
     @property

@@ -58,6 +58,41 @@ class DispatchResult:
             raise DispatchError("software dispatch requires an address")
 
 
+# ---------------------------------------------------------------------------
+# interned results
+#
+# Resolutions are pure values over a tiny domain (a handful of PFU
+# numbers, a handful of software entry points, one fault).  CDP decode is
+# the hottest call site in a burst, so ``resolve`` hands out interned
+# singletons instead of constructing (and validating) a dataclass per
+# execute instruction.  The instances are immutable and machine-agnostic,
+# hence safe to share process-wide.
+
+_FAULT_RESULT = DispatchResult(kind=DispatchKind.FAULT)
+_HARDWARE_RESULTS: dict[int, DispatchResult] = {}
+_SOFTWARE_RESULTS: dict[int, DispatchResult] = {}
+
+
+def hardware_result(pfu_index: int) -> DispatchResult:
+    """The interned HARDWARE resolution naming ``pfu_index``."""
+    result = _HARDWARE_RESULTS.get(pfu_index)
+    if result is None:
+        result = _HARDWARE_RESULTS[pfu_index] = DispatchResult(
+            kind=DispatchKind.HARDWARE, pfu_index=pfu_index
+        )
+    return result
+
+
+def software_result(address: int) -> DispatchResult:
+    """The interned SOFTWARE resolution branching to ``address``."""
+    result = _SOFTWARE_RESULTS.get(address)
+    if result is None:
+        result = _SOFTWARE_RESULTS[address] = DispatchResult(
+            kind=DispatchKind.SOFTWARE, address=address
+        )
+    return result
+
+
 @dataclass
 class DispatchUnit:
     """The two-TLB resolver sitting in the decode stage."""
@@ -66,6 +101,12 @@ class DispatchUnit:
     software_tlb: DispatchTLB
     #: Event bus that receives one ``DispatchResolved`` per resolution.
     trace: TraceBus = field(default_factory=TraceBus)
+    #: Monotonic mutation counter bumped by every OS-side management call
+    #: (map/unmap/flush) and by :meth:`restore`.  A CDP site may cache its
+    #: last resolution against this value: equal generation ⇒ no mapping
+    #: for *any* tuple has changed since, so the cached result still
+    #: holds.  Transient — never serialised into checkpoints.
+    generation: int = 0
 
     @classmethod
     def build(
@@ -88,17 +129,13 @@ class DispatchUnit:
         key = IDTuple(pid=pid, cid=cid)
         pfu_index = self.hardware_tlb.lookup(key)
         if pfu_index is not None:
-            result = DispatchResult(
-                kind=DispatchKind.HARDWARE, pfu_index=pfu_index
-            )
+            result = hardware_result(pfu_index)
         else:
             address = self.software_tlb.lookup(key)
             if address is not None:
-                result = DispatchResult(
-                    kind=DispatchKind.SOFTWARE, address=address
-                )
+                result = software_result(address)
             else:
-                result = DispatchResult(kind=DispatchKind.FAULT)
+                result = _FAULT_RESULT
         self.trace.dispatch_resolved(pid, cid, _OUTCOME[result.kind])
         return result
 
@@ -109,30 +146,36 @@ class DispatchUnit:
         A tuple cannot be live in both TLBs at once — hardware resolution
         has priority, so a stale software mapping is removed first.
         """
+        self.generation += 1
         self.software_tlb.remove(key)
         return self.hardware_tlb.insert(key, pfu_index)
 
     def map_software(self, key: IDTuple, address: int) -> IDTuple | None:
         """Install a (PID, CID) → software-address mapping."""
+        self.generation += 1
         self.hardware_tlb.remove(key)
         return self.software_tlb.insert(key, address)
 
     def unmap(self, key: IDTuple) -> None:
+        self.generation += 1
         self.hardware_tlb.remove(key)
         self.software_tlb.remove(key)
 
     def unmap_pid(self, pid: int) -> int:
         """Drop all of a process's mappings (process exit)."""
+        self.generation += 1
         return self.hardware_tlb.remove_pid(pid) + self.software_tlb.remove_pid(
             pid
         )
 
     def unmap_pfu(self, pfu_index: int) -> int:
         """Drop every tuple naming ``pfu_index`` (circuit evicted)."""
+        self.generation += 1
         return self.hardware_tlb.remove_value(pfu_index)
 
     def flush(self) -> int:
         """Flush both TLBs — only the PRISC baseline ever calls this."""
+        self.generation += 1
         return self.hardware_tlb.flush() + self.software_tlb.flush()
 
     def tuples_for_pfu(self, pfu_index: int) -> list[IDTuple]:
@@ -146,5 +189,8 @@ class DispatchUnit:
         }
 
     def restore(self, state: dict) -> None:
+        # Restoring rewrites the mapping set wholesale; memoized CDP
+        # sites that survive an in-place restore must re-resolve.
+        self.generation += 1
         self.hardware_tlb.restore(state["hardware_tlb"])
         self.software_tlb.restore(state["software_tlb"])

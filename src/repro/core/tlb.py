@@ -47,6 +47,11 @@ class DispatchTLB:
     hits: int = 0
     insertions: int = 0
     evictions: int = 0
+    #: Monotonic mutation counter: bumped whenever the set of live
+    #: mappings may have changed (insert/remove/flush/restore).  Memoized
+    #: dispatch sites compare generations instead of re-walking the CAM;
+    #: the counter is transient and deliberately absent from snapshots.
+    generation: int = 0
 
     def __post_init__(self) -> None:
         self.cam = CAM(entries=self.entries)
@@ -68,6 +73,7 @@ class DispatchTLB:
 
         Re-inserting an existing key simply rewrites its RAM word.
         """
+        self.generation += 1
         self.insertions += 1
         existing = self.cam.match(key)
         if existing is not None:
@@ -87,10 +93,12 @@ class DispatchTLB:
 
     def remove(self, key: IDTuple) -> bool:
         """Invalidate one mapping; True if it was present."""
+        self.generation += 1
         return self.cam.invalidate_key(key)
 
     def remove_pid(self, pid: int) -> int:
         """Invalidate every mapping belonging to ``pid`` (process exit)."""
+        self.generation += 1
         removed = 0
         for entry in self.cam.valid_entries():
             key = self.cam.key_at(entry)
@@ -105,6 +113,7 @@ class DispatchTLB:
         Used when a circuit is evicted from a PFU: all tuples naming that
         PFU must fault until the CIS reinstalls them.
         """
+        self.generation += 1
         removed = 0
         for entry in self.cam.valid_entries():
             if self.ram[entry] == value:
@@ -114,6 +123,7 @@ class DispatchTLB:
 
     def flush(self) -> int:
         """Invalidate everything (PRISC baseline behaviour, not Proteus)."""
+        self.generation += 1
         removed = 0
         for entry in self.cam.valid_entries():
             self.cam.invalidate_entry(entry)
@@ -133,6 +143,7 @@ class DispatchTLB:
         }
 
     def restore(self, state: dict) -> None:
+        self.generation += 1
         self.cam.restore(state["cam"], lambda fields: IDTuple(*fields))
         self.ram = list(state["ram"])
         self._fifo_hand = state["fifo_hand"]

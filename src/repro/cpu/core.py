@@ -105,13 +105,19 @@ class RunResult:
 class CPU:
     """Interpreter binding one process's state to the shared coprocessor.
 
-    Two execution paths share the same semantics:
+    Three execution tiers share the same semantics, selected by
+    ``MachineConfig.exec_tier``:
 
-    * :meth:`step` — the readable reference interpreter;
-    * :meth:`run` — bounded bursts over closure-compiled instructions
-      (see :mod:`repro.cpu.translate`), several times faster and used by
-      the kernel.  :meth:`run_interpreted` is the same burst loop on top
-      of :meth:`step`, kept for the equivalence tests.
+    * ``"step"`` — the readable reference interpreter (:meth:`step`,
+      driven in bursts by :meth:`run_interpreted`);
+    * ``"closure"`` — bounded bursts over closure-compiled instructions
+      (see :mod:`repro.cpu.translate`), several times faster;
+    * ``"block"`` — the closure tier with straight-line runs fused into
+      basic-block superinstructions (see :mod:`repro.cpu.blocks`), the
+      default and fastest tier.
+
+    All tiers are cycle- and trace-identical; the equivalence tests in
+    ``tests/test_blocks.py`` hold them to that.
     """
 
     def __init__(
@@ -127,6 +133,11 @@ class CPU:
         self.state = state
         self.coprocessor = coprocessor
         self.pid = pid
+        #: Execution tier (see ``MachineConfig.exec_tier``): "block"
+        #: fuses straight-line runs into superinstructions, "closure"
+        #: compiles one closure per instruction, "step" drives the
+        #: reference interpreter.  All three are bit-identical.
+        self._tier = config.exec_tier
         self._ctx: "translate_module.RunContext | None" = None
         self._ops = None
 
@@ -163,8 +174,13 @@ class CPU:
     def _compile(self):
         from . import translate as translate_module
 
+        if self._tier == "block":
+            from .blocks import translate_blocks as translate_fn
+        else:
+            translate_fn = translate_module.translate
+
         ctx = translate_module.RunContext()
-        ops = translate_module.translate(
+        ops = translate_fn(
             self.program,
             ctx,
             self.state.regs,
@@ -187,6 +203,8 @@ class CPU:
         instructions are the exception — they are interruptible and stop
         clocking exactly at the boundary.
         """
+        if self._tier == "step":
+            return self.run_interpreted(budget)
         if budget <= 0:
             return RunResult(cycles=0)
         ctx, ops = (self._ctx, self._ops)

@@ -119,6 +119,42 @@ MEMORY_OPS = frozenset({Op.LDR, Op.STR, Op.LDRB, Op.STRB})
 #: Branch ops taking a label.
 BRANCH_OPS = frozenset({Op.B, Op.BL})
 
+#: Ops that end a basic block: control (possibly) leaves this index, so
+#: the instruction after one — and every branch target — is a block
+#: leader (see :mod:`repro.cpu.blocks`).
+BLOCK_TERMINATORS = frozenset({Op.B, Op.BL, Op.BX, Op.SWI, Op.HALT, Op.CDP})
+
+#: Ops a basic-block superinstruction may fuse: straight-line, with
+#: config-constant cycle costs, touching only registers, flags and
+#: process memory.  Coprocessor transfers (MCR/MRC/LDO/STO) and traps are
+#: deliberately excluded — they run on their per-instruction closures.
+FUSIBLE_OPS = frozenset(
+    {
+        Op.NOP,
+        Op.MOV,
+        Op.MVN,
+        Op.ADD,
+        Op.SUB,
+        Op.RSB,
+        Op.AND,
+        Op.ORR,
+        Op.EOR,
+        Op.BIC,
+        Op.LSL,
+        Op.LSR,
+        Op.ASR,
+        Op.ROR,
+        Op.MUL,
+        Op.CMP,
+        Op.CMN,
+        Op.TST,
+        Op.LDR,
+        Op.STR,
+        Op.LDRB,
+        Op.STRB,
+    }
+)
+
 
 @dataclass(frozen=True)
 class Instruction:

@@ -9,6 +9,7 @@ tests and examples can inspect outputs after completion.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
 
 from ..core.circuit import CircuitSpec
@@ -96,7 +97,37 @@ class Program:
         return self.circuit_table[index]
 
     def read_result(self, memory: Memory, name: str) -> bytes:
+        return memory.read_block(*self._region(name))
+
+    def read_result_words(self, memory: Memory, name: str) -> list[int]:
+        """A word-shaped result region as a list of little-endian words."""
+        address, length = self._region(name)
+        if address % 4 or length % 4:
+            raise WorkloadError(
+                f"{self.name}: result region {name!r} is not word-shaped"
+            )
+        return memory.read_words(address, length // 4)
+
+    def result_matches(self, memory: Memory, name: str, expected: bytes) -> bool:
+        """Compare a result region against reference bytes.
+
+        Word-shaped regions (the common case — every built-in workload
+        emits whole words) go through :meth:`Memory.read_words`, one
+        bounds check and a bulk unpack; ragged regions fall back to a
+        byte compare.
+        """
+        address, length = self._region(name)
+        if len(expected) != length:
+            return False
+        if address % 4 == 0 and length % 4 == 0:
+            count = length // 4
+            return memory.read_words(address, count) == list(
+                struct.unpack(f"<{count}I", expected)
+            )
+        return memory.read_block(address, length) == expected
+
+    def _region(self, name: str) -> tuple[int, int]:
         region = self.result_regions.get(name)
         if region is None:
             raise WorkloadError(f"{self.name}: no result region {name!r}")
-        return memory.read_block(region.address, region.length)
+        return region.address, region.length

@@ -101,9 +101,7 @@ def _translate_one(
     alu = config.alu_cycles
     rd, rn, rm, imm = i.rd, i.rn, i.rm, i.imm
 
-    if op in _ALU_BINOPS and rd == 15:
-        return _raiser("direct writes to pc are not supported; use B/BL/BX")
-    if op in (Op.MOV, Op.MVN, Op.MUL, Op.LDR, Op.LDRB, Op.MRC, Op.LDO) and rd == 15:
+    if op in _PC_WRITERS and rd == 15:
         return _raiser("direct writes to pc are not supported; use B/BL/BX")
 
     # ---- data processing -------------------------------------------------
@@ -216,7 +214,7 @@ def _translate_one(
     # ---- branches -----------------------------------------------------------
     if op is Op.B or op is Op.BL:
         target = index + 1 + imm
-        if not 0 <= target <= length:
+        if not 0 <= target < length:
             return _raiser(f"branch target index {target} out of program")
         branch_cycles = config.branch_cycles
         link = op is Op.BL
@@ -329,20 +327,57 @@ def _translate_one(
         return handler
 
     if op is Op.CDP:
-        # Bind the dispatch unit's resolver directly: the coprocessor's
-        # ``resolve`` is a pure delegation hop, and CDP decode is the
-        # hottest call site in a burst.
-        resolve = coprocessor.dispatch.resolve
+        # Bind the dispatch unit directly: the coprocessor's ``resolve``
+        # is a pure delegation hop, and CDP decode is the hottest call
+        # site in a burst.  Each site memoizes its last resolution
+        # against the unit's generation counter: equal generation means
+        # no mapping anywhere changed since, so the cached result still
+        # holds and the two TLB probes can be replayed arithmetically.
+        dispatch = coprocessor.dispatch
+        resolve = dispatch.resolve
+        hw_tlb = dispatch.hardware_tlb
+        sw_tlb = dispatch.software_tlb
         execute = coprocessor.execute
         capture = coprocessor.capture_operands
         issue = config.cdp_issue_cycles
         soft_cost = config.soft_dispatch_branch_cycles
         fault_pc = CODE_BASE + 4 * index
         return_address = CODE_BASE + 4 * (index + 1)
+        _OUTCOMES = {
+            DispatchKind.HARDWARE: "hit",
+            DispatchKind.SOFTWARE: "soft",
+            DispatchKind.FAULT: "fault",
+        }
+        cached_gen = -1  # DispatchUnit generations start at 0
+        cached_resolution = None
+        cached_outcome = ""
 
         def handler(budget: int) -> int:
-            resolution = resolve(pid, imm)
-            kind = resolution.kind
+            nonlocal cached_gen, cached_resolution, cached_outcome
+            if dispatch.generation == cached_gen:
+                resolution = cached_resolution
+                kind = resolution.kind
+                # Keep the TLB statistics and the dispatch counters
+                # bit-identical with an unmemoized resolution: hardware
+                # probes first, software only probes on a hardware miss.
+                hw_tlb.lookups += 1
+                if kind is DispatchKind.HARDWARE:
+                    hw_tlb.hits += 1
+                else:
+                    sw_tlb.lookups += 1
+                    if kind is DispatchKind.SOFTWARE:
+                        sw_tlb.hits += 1
+                # Emitter looked up at call time: the bus rebinds it when
+                # event sinks attach or detach.
+                dispatch.trace.dispatch_resolved(pid, imm, cached_outcome)
+            else:
+                resolution = resolve(pid, imm)
+                kind = resolution.kind
+                # Read the generation *after* resolving so a concurrent
+                # management call can only force one extra re-resolve.
+                cached_gen = dispatch.generation
+                cached_resolution = resolution
+                cached_outcome = _OUTCOMES[kind]
             if kind is DispatchKind.HARDWARE:
                 outcome = execute(
                     resolution.pfu_index, rd, rn, rm, max(1, budget - issue)
@@ -425,4 +460,11 @@ _ALU_BINOPS = {
     Op.ORR: lambda a, b: a | b,
     Op.EOR: lambda a, b: a ^ b,
     Op.BIC: lambda a, b: a & ~b,
+}
+
+#: Every op whose ``rd`` is a general-register destination.  Writing the
+#: pc this way is rejected at translation time, matching ``CPU.step``.
+_PC_WRITERS = frozenset(_ALU_BINOPS) | {
+    Op.MOV, Op.MVN, Op.LSL, Op.LSR, Op.ASR, Op.ROR, Op.MUL,
+    Op.LDR, Op.LDRB, Op.MRC, Op.LDO,
 }

@@ -119,6 +119,10 @@ class Process:
         """Read a named result region from the process's memory."""
         return self.program.read_result(self.memory, name)
 
+    def result_matches(self, name: str, expected: bytes) -> bool:
+        """Bulk-compare a named result region against reference bytes."""
+        return self.program.result_matches(self.memory, name, expected)
+
     # ---- machine-state protocol -------------------------------------------
     def snapshot(self) -> dict:
         """Everything but the program image, which is rebuilt from spec.

@@ -124,6 +124,19 @@ class Machine:
         return self.kernel.config
 
     @property
+    def exec_tier(self) -> str:
+        """The interpreter tier this machine executes on.
+
+        ``"block"`` (fused superinstructions, the default), ``"closure"``
+        (one closure per instruction) or ``"step"`` (the reference
+        interpreter).  Purely a simulator-speed choice — results, traces
+        and checkpoints are identical across tiers.  Set via
+        ``MachineConfig(exec_tier=...)`` or the ``REPRO_EXEC_TIER``
+        environment variable.
+        """
+        return self.config.exec_tier
+
+    @property
     def trace(self) -> TraceBus:
         return self.kernel.trace
 
@@ -286,7 +299,7 @@ class Machine:
                 spec.resolve_items(), seed=spec.data_seed
             )
             for process in processes:
-                if process.read_result(workload.result_name) != expected:
+                if not process.result_matches(workload.result_name, expected):
                     verified = False
                     raise ExperimentError(
                         f"{spec.workload} pid={process.pid} produced "

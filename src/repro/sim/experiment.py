@@ -91,6 +91,10 @@ class ExperimentSpec:
         payload["variant"] = self.variant.value
         payload["items"] = self.resolve_items()
         payload["config"] = asdict(self.build_config())
+        # The execution tier changes how fast the simulator runs, never
+        # what it computes — all tiers are bit-identical — so cached
+        # results and warm-start checkpoints are shared across tiers.
+        payload["config"].pop("exec_tier", None)
         blob = json.dumps(payload, sort_keys=True, default=repr)
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 

@@ -11,9 +11,16 @@ of subscriber:
 * the **event tier** — zero or more sinks attached with :meth:`attach`
   (ring buffers, JSONL writers, timeline aggregators).  Typed
   :mod:`~repro.trace.events` objects are constructed *only* while at
-  least one event sink is subscribed; with the tier empty every emit is
-  a bool test plus one scalar call, so tracing costs nothing when it is
-  off.
+  least one event sink is subscribed.
+
+With the event tier empty the hottest emitters — per-burst and
+per-instruction-class callbacks such as :meth:`TraceBus.cpu_burst` and
+:meth:`TraceBus.dispatch_resolved` — are *rebound* to the counter sink's
+callbacks directly, so an emit is one bound-method call with no
+``recording`` test and no wrapper frame.  Attaching the first sink (or
+detaching the last) swaps the bindings; emit sites must therefore look
+the emitter up on the bus at call time (``bus.cpu_burst(...)``) rather
+than capturing it once, which every caller in the tree does.
 
 The kernel binds the bus to its clock with :meth:`bind_clock`; cycle
 stamps on recorded events come from that callable.
@@ -39,10 +46,41 @@ def _clock_unbound() -> int:
     return 0
 
 
+#: Emitters rebound to counter-sink callbacks while no event sink is
+#: attached (the counter-only fast path).  Maps slot name → CounterSink
+#: callback name; the signatures match pairwise.
+_HOT_EMITTERS = {
+    "quantum_start": "on_quantum_start",
+    "timer_interrupt": "on_timer_interrupt",
+    "context_switch": "on_context_switch",
+    "syscall": "on_syscall",
+    "fault": "on_fault",
+    "dispatch_resolved": "on_dispatch",
+    "cpu_burst": "on_cpu_burst",
+    "kernel_charge": "on_kernel_charge",
+}
+
+
 class TraceBus:
     """Typed emit surface + two-tier fan-out.  See module docstring."""
 
-    __slots__ = ("counters", "recording", "_sinks", "_now")
+    __slots__ = (
+        "counters",
+        "recording",
+        "_sinks",
+        "_now",
+        # Hot emitters are per-instance bindings (see _HOT_EMITTERS):
+        # counter callbacks while no event sink is attached, the _*_full
+        # recording variants otherwise.
+        "quantum_start",
+        "timer_interrupt",
+        "context_switch",
+        "syscall",
+        "fault",
+        "dispatch_resolved",
+        "cpu_burst",
+        "kernel_charge",
+    )
 
     def __init__(self, counters: CounterSink | None = None) -> None:
         self.counters = counters if counters is not None else CounterSink()
@@ -51,6 +89,7 @@ class TraceBus:
         #: other layers may consult this to skip building event payloads.
         self.recording = False
         self._now: Callable[[], int] = _clock_unbound
+        self._rebind()
 
     # ---- wiring ------------------------------------------------------------
     def bind_clock(self, now: Callable[[], int]) -> None:
@@ -61,11 +100,22 @@ class TraceBus:
         """Subscribe an event sink; returns it for chaining."""
         self._sinks = self._sinks + (sink,)
         self.recording = True
+        self._rebind()
         return sink
 
     def detach(self, sink: EventSink) -> None:
         self._sinks = tuple(s for s in self._sinks if s is not sink)
         self.recording = bool(self._sinks)
+        self._rebind()
+
+    def _rebind(self) -> None:
+        """Point the hot emitters at the tier the sink set requires."""
+        if self.recording:
+            for name in _HOT_EMITTERS:
+                setattr(self, name, getattr(self, f"_{name}_full"))
+        else:
+            for name, callback in _HOT_EMITTERS.items():
+                setattr(self, name, getattr(self.counters, callback))
 
     @property
     def sinks(self) -> tuple[EventSink, ...]:
@@ -76,36 +126,32 @@ class TraceBus:
             sink.on_event(event)
 
     # ---- kernel scheduling --------------------------------------------------
-    def quantum_start(self, pid: int) -> None:
+    def _quantum_start_full(self, pid: int) -> None:
         self.counters.on_quantum_start(pid)
-        if self.recording:
-            self._record(ev.QuantumStart(self._now(), pid))
+        self._record(ev.QuantumStart(self._now(), pid))
 
-    def timer_interrupt(self, pid: int) -> None:
+    def _timer_interrupt_full(self, pid: int) -> None:
         self.counters.on_timer_interrupt(pid)
-        if self.recording:
-            self._record(ev.TimerInterrupt(self._now(), pid))
+        self._record(ev.TimerInterrupt(self._now(), pid))
 
-    def context_switch(self, pid: int) -> None:
+    def _context_switch_full(self, pid: int) -> None:
         self.counters.on_context_switch(pid)
-        if self.recording:
-            self._record(ev.ContextSwitch(self._now(), pid))
+        self._record(ev.ContextSwitch(self._now(), pid))
 
     # ---- traps --------------------------------------------------------------
-    def syscall(self, pid: int, number: int) -> None:
+    def _syscall_full(self, pid: int, number: int) -> None:
         self.counters.on_syscall(pid, number)
-        if self.recording:
-            self._record(ev.SyscallEvent(self._now(), pid, number))
+        self._record(ev.SyscallEvent(self._now(), pid, number))
 
-    def fault(self, pid: int, cid: int, action: str, cycles: int) -> None:
+    def _fault_full(self, pid: int, cid: int, action: str, cycles: int) -> None:
         self.counters.on_fault(pid, cid, action, cycles)
-        if self.recording:
-            self._record(ev.FaultEvent(self._now(), pid, cid, action, cycles))
+        self._record(ev.FaultEvent(self._now(), pid, cid, action, cycles))
 
-    def dispatch_resolved(self, pid: int, cid: int, outcome: str) -> None:
+    def _dispatch_resolved_full(
+        self, pid: int, cid: int, outcome: str
+    ) -> None:
         self.counters.on_dispatch(pid, cid, outcome)
-        if self.recording:
-            self._record(ev.DispatchResolved(self._now(), pid, cid, outcome))
+        self._record(ev.DispatchResolved(self._now(), pid, cid, outcome))
 
     # ---- CIS management ------------------------------------------------------
     def registered(self, pid: int, cid: int) -> None:
@@ -186,15 +232,15 @@ class TraceBus:
             self._record(ev.CisKill(self._now(), pid))
 
     # ---- cycle charges and termination ---------------------------------------
-    def cpu_burst(self, pid: int, cycles: int, instructions: int) -> None:
+    def _cpu_burst_full(self, pid: int, cycles: int, instructions: int) -> None:
         self.counters.on_cpu_burst(pid, cycles, instructions)
-        if self.recording:
-            self._record(ev.CpuBurst(self._now(), pid, cycles, instructions))
+        self._record(ev.CpuBurst(self._now(), pid, cycles, instructions))
 
-    def kernel_charge(self, pid: int, cycles: int, source: str = "kernel") -> None:
+    def _kernel_charge_full(
+        self, pid: int, cycles: int, source: str = "kernel"
+    ) -> None:
         self.counters.on_kernel_charge(pid, cycles, source)
-        if self.recording:
-            self._record(ev.KernelCharge(self._now(), pid, cycles, source))
+        self._record(ev.KernelCharge(self._now(), pid, cycles, source))
 
     def process_exit(
         self,

@@ -199,7 +199,9 @@ class CounterSink:
         stats.cpu_cycles += cycles
         stats.instructions += instructions
 
-    def on_kernel_charge(self, pid: int, cycles: int, source: str) -> None:
+    def on_kernel_charge(
+        self, pid: int, cycles: int, source: str = "kernel"
+    ) -> None:
         self.kernel.total_cycles += cycles
         if source == "kernel":
             self.process(pid).kernel_cycles += cycles

@@ -117,3 +117,50 @@ class TestResultValidation:
 
     def test_fault_requires_nothing(self):
         DispatchResult(kind=DispatchKind.FAULT)
+
+
+class TestInterningAndGenerations:
+    """Memoized CDP sites depend on two properties: resolutions are
+    shared immutable values, and every management call advances the
+    generation counter (while datapath lookups never do)."""
+
+    def test_results_are_interned_singletons(self):
+        u1, u2 = unit(), unit()
+        u1.map_hardware(key(1, 1), 2)
+        u2.map_hardware(key(9, 9), 2)
+        assert u1.resolve(1, 1) is u1.resolve(1, 1)
+        assert u1.resolve(1, 1) is u2.resolve(9, 9)
+        assert u1.resolve(5, 5) is u2.resolve(6, 6)  # the fault singleton
+
+    def test_every_management_call_bumps_generation(self):
+        u = unit()
+        calls = [
+            lambda: u.map_hardware(key(1, 1), 0),
+            lambda: u.map_software(key(1, 2), 0x1000_0000),
+            lambda: u.unmap(key(1, 2)),
+            lambda: u.unmap_pid(1),
+            lambda: u.unmap_pfu(0),
+            lambda: u.flush(),
+            lambda: u.restore(u.snapshot()),
+        ]
+        for call in calls:
+            before = u.generation
+            call()
+            assert u.generation > before, call
+
+    def test_datapath_lookups_leave_generation_alone(self):
+        u = unit()
+        u.map_hardware(key(1, 1), 0)
+        generation = u.generation
+        u.resolve(1, 1)
+        u.resolve(2, 2)  # fault path probes both TLBs
+        assert u.generation == generation
+
+    def test_generation_survives_snapshot_round_trip_as_transient(self):
+        """Generations are never serialised — a snapshot taken at any
+        generation restores into any other unit."""
+        u = unit()
+        u.map_hardware(key(1, 1), 3)
+        snapshot = u.snapshot()
+        assert "generation" not in snapshot
+        assert "generation" not in snapshot["hardware_tlb"]

@@ -87,6 +87,38 @@ class TestBulk:
         m.store_word(0x204, 2)
         assert m.read_words(0x200, 2) == [1, 2]
 
+    def test_read_words_matches_sequential_loads(self):
+        m = mem()
+        for i in range(16):
+            m.store_word(0x200 + 4 * i, (i * 0x01010101) & 0xFFFFFFFF)
+        assert m.read_words(0x200, 16) == [
+            m.load_word(0x200 + 4 * i) for i in range(16)
+        ]
+
+    def test_read_words_non_positive_count(self):
+        assert mem().read_words(0x200, 0) == []
+        assert mem().read_words(0x200, -3) == []
+
+    @given(
+        address=st.integers(min_value=0, max_value=4200),
+        count=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=150)
+    def test_read_words_fault_parity_with_load_loop(self, address, count):
+        """The bulk path raises exactly the fault (address and message)
+        that ``count`` sequential ``load_word`` calls would raise —
+        or returns exactly their values when none faults."""
+        m = mem()
+        try:
+            expected = [m.load_word(address + 4 * i) for i in range(count)]
+        except MemoryFault as fault:
+            with pytest.raises(MemoryFault) as caught:
+                m.read_words(address, count)
+            assert caught.value.address == fault.address
+            assert str(caught.value) == str(fault)
+        else:
+            assert m.read_words(address, count) == expected
+
     def test_stack_top_word_aligned(self):
         assert Memory(size=4094).stack_top % 4 == 0
 

@@ -203,3 +203,34 @@ class TestTimeline:
         for before, after in zip(ordered, ordered[1:]):
             assert before.end <= after.start
         assert 0.0 < timeline.utilisation(0, kernel.clock) <= 1.0
+
+
+class TestFastPathRebinding:
+    """With no event sink, the hot emitters are the counter sink's own
+    bound methods; attaching a sink swaps in the recording variants."""
+
+    def test_quiet_bus_binds_hot_emitters_to_counter_sink(self):
+        bus = TraceBus()
+        for name, callback in bus_module._HOT_EMITTERS.items():
+            emitter = getattr(bus, name)
+            assert emitter.__self__ is bus.counters, name
+            assert emitter.__func__.__name__ == callback
+
+    def test_attach_and_detach_swap_the_bindings(self):
+        bus = TraceBus()
+        sink = bus.attach(RingBufferSink(capacity=4))
+        for name in bus_module._HOT_EMITTERS:
+            assert getattr(bus, name).__self__ is bus, name
+        bus.detach(sink)
+        for name in bus_module._HOT_EMITTERS:
+            assert getattr(bus, name).__self__ is bus.counters, name
+
+    def test_counters_identical_with_and_without_sink(self, config):
+        quiet, __ = run_mixed_workload(config)
+        loud, __ = run_mixed_workload(
+            config, sinks=[RingBufferSink(capacity=1_000_000)]
+        )
+        assert quiet.trace.counters.kernel == loud.trace.counters.kernel
+        assert quiet.trace.counters.cis == loud.trace.counters.cis
+        assert quiet.trace.counters.dispatch == loud.trace.counters.dispatch
+        assert quiet.trace.counters.processes == loud.trace.counters.processes

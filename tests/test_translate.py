@@ -169,6 +169,60 @@ class TestProgramEquivalence:
             slow.run_interpreted(100)
 
 
+class TestCompileTimeChecks:
+    def _cpu(self, instructions):
+        memory = Memory(size=16 * 1024)
+        state = CPUState(memory=memory)
+        state.pc = code_address(0)
+        return CPU(
+            config=CONFIG,
+            program=instructions,
+            state=state,
+            coprocessor=ProteusCoprocessor(config=CONFIG),
+            pid=1,
+        )
+
+    def test_branch_to_one_past_end_is_rejected(self):
+        """Regression: a branch to ``length`` (one past the last
+        instruction) used to compile and then die later with a generic
+        pc-out-of-program error after the branch had already retired."""
+        from repro.cpu.isa import Instruction, Op
+        from repro.errors import CPUError
+
+        program = [
+            Instruction(op=Op.B, imm=1, uses_imm=True),  # target index 2
+            Instruction(op=Op.HALT),
+        ]
+        with pytest.raises(CPUError, match="branch target index 2"):
+            self._cpu(program).run(100)
+
+    def test_branch_to_last_instruction_is_allowed(self):
+        from repro.cpu.isa import Instruction, Op
+
+        program = [
+            Instruction(op=Op.B, imm=0, uses_imm=True),  # target index 1
+            Instruction(op=Op.HALT),
+        ]
+        cpu = self._cpu(program)
+        result = cpu.run(100)
+        assert type(result.event).__name__ == "ExitTrap"
+
+    @pytest.mark.parametrize("opname", ["LSL", "LSR", "ASR", "ROR"])
+    def test_shift_to_pc_is_rejected(self, opname):
+        """Regression: shifts were missing from the rd=15 raiser check,
+        so the closure tier silently wrote ``regs[15]`` where the
+        reference interpreter raises."""
+        from repro.cpu.isa import Instruction, Op
+        from repro.errors import CPUError
+
+        program = [
+            Instruction(op=Op[opname], rd=15, rn=0, imm=1, uses_imm=True),
+            Instruction(op=Op.HALT),
+        ]
+        with pytest.raises(CPUError, match="writes to pc"):
+            self._cpu(program).run(100)
+
+
 ALU_OPS = ["ADD", "SUB", "RSB", "AND", "ORR", "EOR", "BIC", "LSL", "LSR",
            "ASR", "ROR"]
 
