@@ -31,6 +31,7 @@ results against the paper's.
 
 from .config import DEFAULT_CONFIG, MachineConfig
 from .errors import CheckpointError, ReproError
+from .faults import FaultInjector, FaultPlan
 from .machine import Machine
 from .state import Snapshotable
 from .core import (
@@ -70,6 +71,8 @@ __all__ = [
     "Snapshotable",
     "CheckpointError",
     "ReproError",
+    "FaultInjector",
+    "FaultPlan",
     "CircuitSpec",
     "DispatchKind",
     "DispatchUnit",

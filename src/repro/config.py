@@ -27,6 +27,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any
 
 from .errors import ConfigurationError
+from .faults import FaultPlan
 
 #: Configuration bytes for a full 500-CLB PFU static image (paper, §4.1).
 PAPER_CONFIG_BYTES = 54 * 1024
@@ -148,6 +149,12 @@ class MachineConfig:
     #: in a single PFU"); the paper's experiments disable it so that every
     #: load pays the full configuration transfer.
     reuse_resident_static: bool = False
+
+    # ---- dependability ----------------------------------------------------
+    #: Fault-injection scenario (see :mod:`repro.faults`).  ``None`` — the
+    #: default — builds no injector at all: the machine is bit-identical
+    #: to a build that predates fault injection.
+    fault_plan: FaultPlan | None = None
 
     # ---- simulator implementation knobs ----------------------------------
     #: CPU interpreter tier (``block`` | ``closure`` | ``step``).  Purely a

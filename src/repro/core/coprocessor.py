@@ -19,6 +19,7 @@ counters).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..config import MachineConfig
 from ..errors import PFUError
@@ -27,9 +28,12 @@ from ..trace.bus import TraceBus
 from .circuit import CircuitInstance
 from .dispatch import DispatchResult, DispatchUnit
 from .operand_regs import OperandRegisters
-from .pfu import PFU, PFUBank
+from .pfu import PFU, PFUBank, parity32
 from .regfile import FPLRegisterFile
 from .tlb import IDTuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults import FaultInjector
 
 
 @dataclass
@@ -54,6 +58,8 @@ class ProteusCoprocessor:
     dispatch: DispatchUnit = field(init=False)
     operand_regs: OperandRegisters = field(default_factory=OperandRegisters)
     array: FPLArray = field(init=False)
+    #: Fault injector, attached by the kernel when a plan is active.
+    injector: "FaultInjector | None" = field(init=False, default=None)
 
     def __post_init__(self) -> None:
         if self.trace is None:
@@ -91,11 +97,59 @@ class ProteusCoprocessor:
             return ExecuteOutcome(cycles=0, completed=False)
         pfu = self.pfus.pfu(pfu_index)
         pfu.issue(self.regfile.read(fn), self.regfile.read(fm))
+        injector = self.injector
+        if injector is not None:
+            needed = pfu.instance.remaining_cycles()
+            if needed <= max_cycles:
+                effect = injector.completion_effect(pfu_index)
+                if effect is not None:
+                    return self._faulted_completion(
+                        pfu, fd, needed, max_cycles, effect
+                    )
         cycles, result = pfu.clock(max_cycles)
         if result is None:
             return ExecuteOutcome(cycles=cycles, completed=False)
         self.regfile.write(fd, result)
         return ExecuteOutcome(cycles=cycles, completed=True, result=result)
+
+    def _faulted_completion(
+        self,
+        pfu: PFU,
+        fd: int,
+        needed: int,
+        max_cycles: int,
+        effect: tuple[str, int],
+    ) -> ExecuteOutcome:
+        """Complete an issue whose result a live fault corrupts.
+
+        The result port's parity tree catches odd-weight corruption at
+        the completion cycle: the invocation is left one cycle short of
+        completing (so the post-recovery re-issue finishes it without
+        re-running the computation) and a :class:`FabricFault` surfaces
+        to the kernel with the cycles really consumed.  Even-weight
+        corruption — or any corruption with the parity check off —
+        escapes into the destination register silently.
+        """
+        from ..cpu.exceptions import FabricFault  # circular at module level
+
+        kind, mask = effect
+        injector = self.injector
+        if injector.plan.parity_check and parity32(mask):
+            if needed > 1:
+                pfu.clock(needed - 1)
+            self.trace.fault_detected(
+                pfu.instance.pid, kind, pfu.index, "parity"
+            )
+            raise FabricFault(
+                pfu_index=pfu.index,
+                kind=kind,
+                charge_cycles=self.config.cdp_issue_cycles + needed,
+            )
+        cycles, result = pfu.clock(max_cycles)
+        corrupted = (result ^ mask) & 0xFFFFFFFF
+        injector.silent_corruptions += 1
+        self.regfile.write(fd, corrupted)
+        return ExecuteOutcome(cycles=cycles, completed=True, result=corrupted)
 
     def capture_operands(self, fd: int, fn: int, fm: int) -> None:
         """Latch the special-purpose registers for software dispatch."""

@@ -24,6 +24,23 @@ from ..errors import PFUError
 from .circuit import CircuitInstance
 
 
+def parity32(value: int) -> int:
+    """Parity bit of a 32-bit word — the PFU result port's parity tree.
+
+    The coprocessor checks result parity on every completion when fault
+    injection is active; an odd-weight corruption flips the parity bit
+    and is caught, an even-weight corruption escapes silently (the
+    classic limitation of single-bit parity).
+    """
+    value &= 0xFFFFFFFF
+    value ^= value >> 16
+    value ^= value >> 8
+    value ^= value >> 4
+    value ^= value >> 2
+    value ^= value >> 1
+    return value & 1
+
+
 @dataclass
 class PFU:
     """One programmable function unit slot."""

@@ -234,8 +234,10 @@ class CPU:
                     break
         except CPUEvent as trap:
             # The raising instruction charged no cycles itself; charge the
-            # base issue cost so traps are not free.
-            used += self.config.alu_cycles
+            # base issue cost so traps are not free.  Events that consumed
+            # real work before trapping (a fabric fault caught at the
+            # would-be completion) carry their own charge.
+            used += getattr(trap, "charge_cycles", self.config.alu_cycles)
             event = trap
         finally:
             state.pc = code_address(ctx.idx)
@@ -264,7 +266,7 @@ class CPU:
             try:
                 step = self.step(budget - used)
             except CPUEvent as event:
-                used += self.config.alu_cycles
+                used += getattr(event, "charge_cycles", self.config.alu_cycles)
                 return finish(event)
             used += step.cycles
             if not step.retired:

@@ -52,3 +52,30 @@ class CustomInstructionFault(CPUEvent):
 
     def __str__(self) -> str:
         return f"custom instruction fault, CID {self.cid} at pc={self.fault_pc}"
+
+
+@dataclass
+class FabricFault(CPUEvent):
+    """A fabric fault was detected while completing a custom instruction.
+
+    Raised by the coprocessor when the per-issue parity check catches a
+    corrupted result (see :mod:`repro.faults`).  The program counter
+    still points at the CDP instruction, so after the kernel repairs the
+    fabric — reload, software fallback, or quarantine — the instruction
+    re-issues and the interrupted invocation completes transparently
+    (paper §4.4 execution-context semantics).
+
+    ``charge_cycles`` is what the aborted issue cost the process: issue
+    overhead plus the cycles the PFU actually consumed before the fault
+    was caught at the would-be completion.
+    """
+
+    pfu_index: int
+    kind: str
+    charge_cycles: int
+
+    def __str__(self) -> str:
+        return (
+            f"fabric fault ({self.kind}) on PFU {self.pfu_index}, "
+            f"{self.charge_cycles} cycles charged"
+        )

@@ -114,6 +114,17 @@ class FPLArray:
     def free_regions(self) -> list[PFURegion]:
         return [region for region in self.regions if region.is_free]
 
+    def occupied_regions(self) -> list[int]:
+        """Indices of regions holding a configuration (in index order).
+
+        The fault injector targets these for configuration upsets, and
+        the scrubber walks them in this order — a deterministic set for a
+        deterministic machine.
+        """
+        return [
+            region.index for region in self.regions if not region.is_free
+        ]
+
     def region(self, index: int) -> PFURegion:
         if not 0 <= index < len(self.regions):
             raise PlacementError(f"no PFU region {index}")

@@ -243,6 +243,24 @@ def build_bitstream(
     )
 
 
+def flip_bit(blob: bytes, bit_index: int) -> bytes:
+    """Return ``blob`` with one bit flipped — an SEU on a serialised image.
+
+    Used by the fault-injection campaigns and the robustness tests:
+    because every byte of the wire format is covered by the header
+    structure or a section checksum, any single-bit flip of a serialised
+    bitstream must be rejected by :func:`parse_bitstream` rather than
+    parse into a silently different circuit.
+    """
+    if not 0 <= bit_index < len(blob) * 8:
+        raise BitstreamError(
+            f"bit {bit_index} outside {len(blob)}-byte bitstream"
+        )
+    corrupted = bytearray(blob)
+    corrupted[bit_index // 8] ^= 1 << (bit_index % 8)
+    return bytes(corrupted)
+
+
 def _pseudo_bytes(key: str, length: int) -> bytes:
     """Deterministic pseudo-random bytes derived from ``key``."""
     out = bytearray()

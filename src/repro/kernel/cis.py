@@ -26,6 +26,7 @@ the paper intends (54 KB static vs. a few hundred bytes of state).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..config import MachineConfig
 from ..core.coprocessor import ProteusCoprocessor
@@ -37,6 +38,10 @@ from ..trace.bus import TraceBus
 from ..trace.counters import CISStats  # re-export: the derived view
 from .process import Process, Registration
 from .replacement import ReplacementPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cpu.exceptions import FabricFault
+    from ..faults import FaultInjector
 
 __all__ = ["CISStats", "CustomInstructionScheduler"]
 
@@ -55,6 +60,8 @@ class CustomInstructionScheduler:
     policy: ReplacementPolicy
     processes: dict[int, Process]
     trace: TraceBus = field(default_factory=TraceBus)
+    #: Fault injector when a :class:`~repro.faults.FaultPlan` is active.
+    injector: "FaultInjector | None" = None
     security: SecurityPolicy = field(init=False)
 
     def __post_init__(self) -> None:
@@ -184,11 +191,31 @@ class CustomInstructionScheduler:
             self.trace.cis_charge(cycles)
             return cycles, "soft"
 
-        # Array full: evict a victim and load.
+        # Array full: evict a victim and load.  Quarantined PFUs are not
+        # eviction candidates — once every PFU is quarantined the machine
+        # has no serviceable fabric left, so degrade to the software
+        # alternative if one exists and kill otherwise.
         cycles += self.policy.decision_cycles(self.config)
-        victim = self.policy.choose(
-            self.coprocessor.pfus.configured_pfus(), self.coprocessor.pfus
-        )
+        candidates = self._victim_candidates()
+        if not candidates:
+            if registration.soft_address is not None:
+                self.coprocessor.dispatch.map_software(
+                    key, registration.soft_address
+                )
+                cycles += self.config.tlb_update_cycles
+                self.trace.soft_defer(
+                    process.pid, cid, registration.soft_mapped
+                )
+                registration.soft_mapped = True
+                self.trace.cis_charge(cycles)
+                return cycles, "soft"
+            self.trace.cis_charge(cycles)
+            self._kill(
+                process,
+                f"CID {cid} unserviceable: every PFU is quarantined and "
+                "no software alternative is registered",
+            )
+        victim = self.policy.choose(candidates, self.coprocessor.pfus)
         cycles += self._evict(victim)
         cycles += self._load_into(victim, registration, key)
         self.trace.load_fault(process.pid, cid)
@@ -220,10 +247,28 @@ class CustomInstructionScheduler:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _quarantined(self, pfu_index: int) -> bool:
+        return (
+            self.injector is not None
+            and pfu_index in self.injector.quarantined
+        )
+
+    def _victim_candidates(self) -> list[PFU]:
+        """Configured PFUs the replacement policy may evict from."""
+        return [
+            pfu
+            for pfu in self.coprocessor.pfus.configured_pfus()
+            if not self._quarantined(pfu.index)
+        ]
+
     def _pick_free_pfu(self, registration: Registration) -> PFU | None:
         """Choose a free PFU, preferring a resident static image when the
         reuse optimisation is enabled."""
-        free = self.coprocessor.pfus.free_pfus()
+        free = [
+            pfu
+            for pfu in self.coprocessor.pfus.free_pfus()
+            if not self._quarantined(pfu.index)
+        ]
         if not free:
             return None
         if self.config.reuse_resident_static:
@@ -247,6 +292,33 @@ class CustomInstructionScheduler:
         moved = self.coprocessor.load_circuit(
             pfu.index, registration.instance, reuse_static=reuse_static
         )
+        cycles = (
+            self.config.transfer_cycles(moved) + self.config.tlb_update_cycles
+        )
+        injector = self.injector
+        if injector is not None:
+            # Configuration transfers can fail their section checksum;
+            # retry with bounded backoff.  Exhausting the retries means
+            # accepting the corrupt image — the region then carries a
+            # live configuration upset for the scrubber to find.
+            attempt = 0
+            while injector.transfer_fails():
+                attempt += 1
+                self.trace.fault_injected(key.pid, "transfer", pfu.index)
+                if attempt > injector.plan.max_load_retries:
+                    injector.force_upset(pfu.index)
+                    break
+                self.trace.fault_detected(
+                    key.pid, "transfer", pfu.index, "checksum"
+                )
+                retry_cost = (
+                    self.config.cis_decision_cycles * attempt
+                    + self.config.transfer_cycles(moved)
+                )
+                cycles += retry_cost
+                self.trace.fault_recovered(
+                    key.pid, "transfer", pfu.index, "retry", retry_cost
+                )
         state_bytes = registration.instance.bitstream.state_bytes
         registration.pfu_index = pfu.index
         registration.soft_mapped = False
@@ -260,7 +332,7 @@ class CustomInstructionScheduler:
             min(moved, state_bytes),
         )
         self.coprocessor.dispatch.map_hardware(key, pfu.index)
-        return self.config.transfer_cycles(moved) + self.config.tlb_update_cycles
+        return cycles
 
     def _evict(self, victim: PFU) -> int:
         """Save a victim circuit's state off the array; returns cycles."""
@@ -271,6 +343,12 @@ class CustomInstructionScheduler:
         __, state_bytes = self.coprocessor.unload_circuit(
             victim.index, keep_static=True
         )
+        if self.injector is not None and (
+            self.injector.corrupt_saved_state(instance)
+        ):
+            # Corruption strikes after the save-time checksum: silent
+            # until the reloaded circuit produces a wrong result.
+            self.trace.fault_injected(instance.pid, "state", victim.index)
         self.trace.circuit_evict(
             instance.pid, victim.index, instance.bitstream.name, state_bytes
         )
@@ -284,6 +362,8 @@ class CustomInstructionScheduler:
     def _find_shareable(self, registration: Registration) -> PFU | None:
         wanted = registration.instance.spec.name
         for pfu in self.coprocessor.pfus.configured_pfus():
+            if self._quarantined(pfu.index):
+                continue
             if pfu.instance is not None and (
                 pfu.instance.spec.name == wanted and not pfu.instance.busy
             ):
@@ -303,7 +383,7 @@ class CustomInstructionScheduler:
     def _promote_into(self, pfu_index: int) -> int:
         """Promote a software-deferred circuit into a freed PFU (§5.1.3)."""
         pfu = self.coprocessor.pfus.pfu(pfu_index)
-        if pfu.configured:
+        if pfu.configured or self._quarantined(pfu_index):
             return 0
         for process in self.processes.values():
             if not process.alive:
@@ -324,6 +404,185 @@ class CustomInstructionScheduler:
                 self.trace.circuit_promote(process.pid, registration.cid, pfu_index)
                 return cycles
         return 0
+
+    # ------------------------------------------------------------------
+    # fabric fault recovery (see repro.faults)
+    # ------------------------------------------------------------------
+    def handle_fabric_fault(
+        self, process: Process, fault: "FabricFault"
+    ) -> tuple[int, str]:
+        """Recover from a parity-detected fabric fault; returns
+        (cycles, action).
+
+        The recovery policy comes from the fault plan: ``reload``
+        re-transfers the configuration image, ``fallback`` degrades the
+        (PID, CID) mapping to its software alternative through the
+        dispatch TLB — the paper-native graceful-degradation path —
+        and ``quarantine`` retires the PFU once it accumulates enough
+        strikes.  Transient datapath glitches below the quarantine
+        threshold simply squash the corrupt result and re-issue.
+        """
+        injector = self.injector
+        if injector is None:
+            raise KernelError("fabric fault with no fault plan active")
+        plan = injector.plan
+        cycles = self.config.fault_entry_cycles
+        pfu_index = fault.pfu_index
+        strikes = injector.strike(pfu_index)
+        registration = self._registration_on(process, pfu_index)
+        if plan.recovery == "quarantine" and (
+            strikes >= plan.quarantine_strikes
+        ):
+            cycles += self._quarantine_pfu(pfu_index)
+            action = "quarantine"
+        elif plan.recovery == "fallback" and registration is not None and (
+            registration.soft_address is not None
+        ):
+            cycles += self._fallback(process, registration)
+            action = "fallback"
+        elif fault.kind == "config":
+            cycles += self._reload_region(pfu_index)
+            action = "reload"
+        else:
+            cycles += self.config.cis_decision_cycles
+            action = "retry"
+        self.trace.fault_recovered(
+            process.pid, fault.kind, pfu_index, action, cycles
+        )
+        self.trace.cis_charge(cycles)
+        return cycles, action
+
+    def scrub_fabric(self, process: Process) -> int:
+        """Checksum-verify every region and repair corrupt ones.
+
+        The periodic scrub is what catches configuration upsets whose
+        corrupted results escape the parity check (even-weight masks) or
+        that strike idle circuits.  Repair follows the plan's recovery
+        policy.  Charged to the process whose quantum the scrub ran in,
+        like any other kernel housekeeping.
+        """
+        injector = self.injector
+        if injector is None:
+            return 0
+        plan = injector.plan
+        cycles = plan.scrub_check_cycles * len(self.coprocessor.array)
+        for pfu_index in injector.upset_regions():
+            self.trace.fault_detected(
+                process.pid, "config", pfu_index, "scrub"
+            )
+            strikes = injector.strike(pfu_index)
+            if plan.recovery == "quarantine" and (
+                strikes >= plan.quarantine_strikes
+            ):
+                repair = self._quarantine_pfu(pfu_index)
+                action = "quarantine"
+            else:
+                owner_reg = self._fallback_target(pfu_index)
+                if plan.recovery == "fallback" and owner_reg is not None:
+                    owner, registration = owner_reg
+                    repair = self._fallback(owner, registration)
+                    action = "fallback"
+                else:
+                    repair = self._reload_region(pfu_index)
+                    action = "reload"
+            cycles += repair
+            self.trace.fault_recovered(
+                process.pid, "config", pfu_index, action, repair
+            )
+        self.trace.cis_charge(cycles)
+        return cycles
+
+    def _registration_on(
+        self, process: Process, pfu_index: int
+    ) -> Registration | None:
+        for registration in process.registrations.values():
+            if registration.pfu_index == pfu_index:
+                return registration
+        return None
+
+    def _fallback_target(
+        self, pfu_index: int
+    ) -> tuple[Process, Registration] | None:
+        """The live owner + registration of the circuit on ``pfu_index``,
+        provided it has a software alternative to degrade to."""
+        instance = self.coprocessor.pfus.pfu(pfu_index).instance
+        if instance is None:
+            return None
+        owner = self.processes.get(instance.pid)
+        if owner is None or not owner.alive:
+            return None
+        for registration in owner.registrations.values():
+            if registration.instance is instance and (
+                registration.soft_address is not None
+            ):
+                return owner, registration
+        return None
+
+    def _fallback(self, process: Process, registration: Registration) -> int:
+        """Degrade a registration to its software alternative."""
+        cycles = self.config.cis_decision_cycles
+        pfu_index = registration.pfu_index
+        if pfu_index is not None:
+            instance = self.coprocessor.pfus.pfu(pfu_index).instance
+            if instance is not None and instance.busy:
+                # Abandon the in-flight invocation: the software
+                # alternative re-executes the instruction from scratch.
+                instance.busy = False
+                instance.cycles_done = 0
+            self.coprocessor.unload_circuit(pfu_index, keep_static=False)
+            if self.injector is not None:
+                self.injector.clear_region(pfu_index)
+            registration.pfu_index = None
+            registration.evictions += 1
+            self.trace.circuit_unload(
+                process.pid, pfu_index, registration.instance.bitstream.name
+            )
+        key = IDTuple(pid=process.pid, cid=registration.cid)
+        self.coprocessor.dispatch.map_software(key, registration.soft_address)
+        registration.soft_mapped = True
+        cycles += self.config.tlb_update_cycles
+        return cycles
+
+    def _reload_region(self, pfu_index: int) -> int:
+        """Scrub-and-reload a region's configuration image in place."""
+        cycles = self.config.cis_decision_cycles
+        region = self.coprocessor.array.region(pfu_index)
+        if region.resident is not None:
+            cycles += self.config.transfer_cycles(region.resident.static_bytes)
+        if self.injector is not None:
+            self.injector.clear_region(pfu_index)
+        return cycles
+
+    def _quarantine_pfu(self, pfu_index: int) -> int:
+        """Retire a PFU from service; its circuit (if any) is saved off
+        so replacement can place it elsewhere on the next issue."""
+        cycles = self.config.cis_decision_cycles
+        pfu = self.coprocessor.pfus.pfu(pfu_index)
+        pid = -1
+        if pfu.configured:
+            instance = pfu.instance
+            pid = instance.pid
+            owner = self.processes.get(pid)
+            __, state_bytes = self.coprocessor.unload_circuit(
+                pfu_index, keep_static=False
+            )
+            cycles += self.config.transfer_cycles(state_bytes)
+            self.trace.circuit_evict(
+                pid, pfu_index, instance.bitstream.name, state_bytes
+            )
+            if owner is not None:
+                for registration in owner.registrations.values():
+                    if registration.instance is instance:
+                        registration.pfu_index = None
+                        registration.evictions += 1
+        else:
+            region = self.coprocessor.array.region(pfu_index)
+            if region.resident is not None:
+                region.unload()
+            self.coprocessor.dispatch.unmap_pfu(pfu_index)
+        self.injector.quarantine(pfu_index)
+        self.trace.pfu_quarantined(pid, pfu_index)
+        return cycles
 
     def _kill(self, process: Process, reason: str) -> None:
         self.trace.cis_kill(process.pid)

@@ -15,9 +15,15 @@ from __future__ import annotations
 
 from ..config import MachineConfig
 from ..core.coprocessor import ProteusCoprocessor
-from ..cpu.exceptions import CustomInstructionFault, ExitTrap, SyscallTrap
+from ..cpu.exceptions import (
+    CustomInstructionFault,
+    ExitTrap,
+    FabricFault,
+    SyscallTrap,
+)
 from ..cpu.program import Program
 from ..errors import KernelError, ProcessKilled, ReproError
+from ..faults import FaultInjector
 from ..trace.bus import TraceBus
 from ..trace.counters import KernelStats  # re-export: the derived view
 from .cis import CustomInstructionScheduler
@@ -52,12 +58,19 @@ class Porsche:
         self.processes: dict[int, Process] = {}
         self.scheduler = RoundRobinScheduler()
         self.policy = policy or make_policy("round_robin", seed=config.seed)
+        self.injector = (
+            FaultInjector(config.fault_plan)
+            if config.fault_plan is not None
+            else None
+        )
+        self.coprocessor.injector = self.injector
         self.cis = CustomInstructionScheduler(
             config=config,
             coprocessor=self.coprocessor,
             policy=self.policy,
             processes=self.processes,
             trace=self.trace,
+            injector=self.injector,
         )
         self.clock = 0
         self.stats = self.trace.counters.kernel
@@ -125,6 +138,10 @@ class Porsche:
         budget = self.config.quantum_cycles
         if budget_cap is not None:
             budget = min(budget, max(1, budget_cap))
+        if self.injector is not None:
+            budget -= self._fault_tick(process)
+            if budget <= 0:
+                budget = 1
         while budget > 0 and process.alive:
             try:
                 result = process.cpu.run(budget)
@@ -145,6 +162,12 @@ class Porsche:
                 self._finish(process, status=event.status)
             elif isinstance(event, SyscallTrap):
                 budget -= self._syscall(process, event.number, budget)
+            elif isinstance(event, FabricFault):
+                budget -= self._fabric_fault(process, event)
+                if budget <= 0 and process.alive:
+                    # Same forward-progress guarantee as below: after
+                    # recovery the faulted instruction must re-issue.
+                    budget = 1
             elif isinstance(event, CustomInstructionFault):
                 budget -= self._fault(process, event)
                 if budget <= 0 and process.alive:
@@ -253,6 +276,37 @@ class Porsche:
         self.trace.fault(process.pid, fault.cid, action, cycles)
         return cycles
 
+    # -------------------------------------------------------------------
+    # fabric faults (see repro.faults)
+    # -------------------------------------------------------------------
+    def _fault_tick(self, process: Process) -> int:
+        """Quantum-boundary injection + periodic scrub; returns cycles.
+
+        Injection happens at quantum boundaries only — a tier-invariant
+        architectural event — so the injector's RNG stream is identical
+        across the block/closure/step interpreters.
+        """
+        injector = self.injector
+        for kind, target in injector.advance_quantum(self.coprocessor):
+            # pid -1: quantum-boundary injections are nobody's fault.
+            self.trace.fault_injected(-1, kind, target)
+        if not injector.scrub_due():
+            return 0
+        cycles = self.cis.scrub_fabric(process)
+        self._charge_kernel(process, cycles)
+        return cycles
+
+    def _fabric_fault(self, process: Process, fault: FabricFault) -> int:
+        """Recover from a detected fabric fault; returns cycles charged."""
+        try:
+            cycles, _action = self.cis.handle_fabric_fault(process, fault)
+        except ProcessKilled as killed:
+            self._charge_kernel(process, self.config.fault_entry_cycles)
+            self._kill(process, killed.reason)
+            return self.config.fault_entry_cycles
+        self._charge_kernel(process, cycles)
+        return cycles
+
     # ------------------------------------------------------------------
     # termination
     # ------------------------------------------------------------------
@@ -297,7 +351,7 @@ class Porsche:
         ``restore`` expects a kernel freshly built the same way with the
         same programs spawned in the same order.
         """
-        return {
+        state = {
             "clock": self.clock,
             "next_pid": self._next_pid,
             "last_running": (
@@ -314,6 +368,11 @@ class Porsche:
             "coprocessor": self.coprocessor.snapshot(),
             "counters": self.trace.counters.snapshot(),
         }
+        # Key present only when a fault plan is active, so checkpoints of
+        # injection-free machines keep their pre-fault byte layout.
+        if self.injector is not None:
+            state["faults"] = self.injector.snapshot()
+        return state
 
     def restore(self, state: dict) -> None:
         saved = {int(pid): entry for pid, entry in state["processes"].items()}
@@ -343,6 +402,8 @@ class Porsche:
             state["coprocessor"], instances, seed=self.config.seed
         )
         self.trace.counters.restore(state["counters"])
+        if self.injector is not None:
+            self.injector.restore(state["faults"])
         self.clock = state["clock"]
         self._next_pid = state["next_pid"]
         last = state["last_running"]

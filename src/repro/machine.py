@@ -55,17 +55,28 @@ CAPTURE_BASE_QUANTA = 64
 
 
 def _spec_to_dict(spec: "ExperimentSpec") -> dict:
+    from .faults import plan_to_dict
+
     payload = asdict(spec)
     payload["variant"] = spec.variant.value
+    if spec.fault_plan is None:
+        # Absent rather than null: checkpoints of injection-free
+        # machines keep their pre-fault-injection byte layout.
+        payload.pop("fault_plan", None)
+    else:
+        payload["fault_plan"] = plan_to_dict(spec.fault_plan)
     return payload
 
 
 def _spec_from_dict(payload: dict) -> "ExperimentSpec":
     from .apps.workloads import WorkloadVariant
+    from .faults import plan_from_dict
     from .sim.experiment import ExperimentSpec
 
     fields = dict(payload)
     fields["variant"] = WorkloadVariant(fields["variant"])
+    if fields.get("fault_plan") is not None:
+        fields["fault_plan"] = plan_from_dict(fields["fault_plan"])
     return ExperimentSpec(**fields)
 
 
@@ -272,39 +283,64 @@ class Machine:
     # results
     # ------------------------------------------------------------------
     def outcome(self, verify: bool = True) -> "RunOutcome":
-        """Package a completed run as a :class:`RunOutcome`."""
+        """Package a completed run as a :class:`RunOutcome`.
+
+        Without a fault plan, a killed process or a wrong output is an
+        :class:`~repro.errors.ExperimentError` — the experiment itself is
+        broken.  Under injection those are *measurements*: the run is
+        tolerated and the casualties are counted into the outcome's
+        ``faults`` dict alongside the injection/recovery counters.
+        """
         spec = self._require_spec("outcome")
         from .apps.registry import get_workload
         from .errors import ExperimentError
         from .sim.experiment import RunOutcome
 
+        tolerate = spec.fault_plan is not None
         processes = [
             self.kernel.processes[pid]
             for pid in sorted(self.kernel.processes)
         ]
         completions = []
+        killed = 0
         for process in processes:
             if process.state is not ProcessState.EXITED:
-                raise ExperimentError(
-                    f"{spec.workload} instance pid={process.pid} ended "
-                    f"{process.state.value}: {process.kill_reason}"
-                )
+                if not tolerate:
+                    raise ExperimentError(
+                        f"{spec.workload} instance pid={process.pid} ended "
+                        f"{process.state.value}: {process.kill_reason}"
+                    )
+                killed += 1
             assert process.completion_cycle is not None
             completions.append(process.completion_cycle)
 
         workload = get_workload(spec.workload)
         verified = True
+        wrong_outputs = 0
         if verify:
             expected = workload.expected(
                 spec.resolve_items(), seed=spec.data_seed
             )
             for process in processes:
+                if process.state is not ProcessState.EXITED:
+                    verified = False
+                    continue
                 if not process.result_matches(workload.result_name, expected):
                     verified = False
-                    raise ExperimentError(
-                        f"{spec.workload} pid={process.pid} produced "
-                        "wrong output"
-                    )
+                    if not tolerate:
+                        raise ExperimentError(
+                            f"{spec.workload} pid={process.pid} produced "
+                            "wrong output"
+                        )
+                    wrong_outputs += 1
+
+        faults: dict = {}
+        if tolerate:
+            faults = self._fault_metrics(
+                makespan=max(completions),
+                killed=killed,
+                wrong_outputs=wrong_outputs,
+            )
 
         return RunOutcome(
             spec=spec,
@@ -317,7 +353,44 @@ class Machine:
                 (p.stats.cpu_cycles, p.stats.kernel_cycles)
                 for p in processes
             ],
+            faults=faults,
         )
+
+    def _fault_metrics(
+        self, makespan: int, killed: int, wrong_outputs: int
+    ) -> dict:
+        """Dependability metrics for a run under fault injection."""
+        stats = self.trace.counters.faults
+        injector = self.kernel.injector
+        recovered = sum(stats.recovered.values())
+        return {
+            "injected": dict(sorted(stats.injected.items())),
+            "detected": dict(sorted(stats.detected.items())),
+            "recovered": dict(sorted(stats.recovered.items())),
+            "quarantined": stats.quarantined,
+            "recovery_cycles": stats.recovery_cycles,
+            "mean_recovery_latency": (
+                round(stats.recovery_cycles / recovered, 3)
+                if recovered
+                else 0.0
+            ),
+            "silent_corruptions": (
+                injector.silent_corruptions if injector is not None else 0
+            ),
+            "state_corruptions": (
+                injector.state_corruptions if injector is not None else 0
+            ),
+            "killed": killed,
+            "wrong_outputs": wrong_outputs,
+            # Fraction of the run the fabric was serviceable: recovery
+            # latency is time the kernel spent repairing instead of
+            # making progress.
+            "availability": (
+                round(1.0 - stats.recovery_cycles / makespan, 9)
+                if makespan
+                else 1.0
+            ),
+        }
 
     # ------------------------------------------------------------------
     def _require_spec(self, operation: str) -> "ExperimentSpec":

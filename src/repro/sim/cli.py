@@ -28,6 +28,7 @@ import time
 from ..machine import Machine
 from ..trace.sinks import JsonlSink, RingBufferSink
 from ..trace.timeline import TimelineAggregator
+from .campaign import CampaignConfig, render_campaign, run_campaign
 from .experiment import ExperimentSpec, run_experiment
 from .figures import contention_knees, figure2, figure3, speedup_table
 from .report import render_figure, render_speedup, render_table, render_trace
@@ -114,11 +115,17 @@ def _report_sweep(runner: SweepRunner, args, stream=sys.stderr) -> None:
         if runner.checkpoints is not None
         else ""
     )
+    retried = (
+        f"retried {stats.worker_retries} | " if stats.worker_retries else ""
+    )
+    evicted = (
+        f"evicted {stats.cache_evictions} | " if stats.cache_evictions else ""
+    )
     print(file=stream)
     print(
         f"sweep: {stats.points} points | cache hits {stats.cache_hits} | "
-        f"executed {stats.executed} | {warm}{stats.elapsed:.2f}s | "
-        f"jobs {runner.jobs}",
+        f"executed {stats.executed} | {warm}{retried}{evicted}"
+        f"{stats.elapsed:.2f}s | jobs {runner.jobs}",
         file=stream,
     )
 
@@ -220,6 +227,52 @@ def main(argv: list[str] | None = None) -> int:
     pz.add_argument(
         "--verify", action="store_true",
         help="check every process output against the reference models",
+    )
+
+    pi = sub.add_parser(
+        "inject",
+        help="dependability campaign: seeded fault injection across "
+             "recovery policies, reporting detection/recovery/availability",
+    )
+    _add_common(pi)
+    pi.add_argument(
+        "--workload", default="alpha", choices=("echo", "alpha", "twofish"),
+        help="workload under injection (default alpha: has software "
+             "alternatives, so the fallback policy is meaningful)",
+    )
+    pi.add_argument("--instances", type=int, default=4)
+    pi.add_argument(
+        "--trials", type=int, default=3,
+        help="seeded trials per recovery policy (default 3)",
+    )
+    pi.add_argument(
+        "--policies", default="reload,fallback,quarantine",
+        help="comma-separated recovery policies to compare "
+             "(default: reload,fallback,quarantine)",
+    )
+    pi.add_argument("--quantum-ms", type=float, default=1.0)
+    pi.add_argument(
+        "--replacement", default="round_robin",
+        choices=("round_robin", "random", "lru", "second_chance"),
+        help="PFU replacement policy (default round_robin)",
+    )
+    pi.add_argument("--config-rate", type=float, default=0.02,
+                    help="per-quantum config-bit upset probability")
+    pi.add_argument("--datapath-rate", type=float, default=0.02,
+                    help="per-quantum transient PFU datapath error probability")
+    pi.add_argument("--transfer-rate", type=float, default=0.05,
+                    help="per-attempt configuration transfer failure probability")
+    pi.add_argument("--state-rate", type=float, default=0.05,
+                    help="per-eviction saved-state corruption probability")
+    pi.add_argument("--scrub-interval", type=int, default=16, metavar="Q",
+                    help="scrub the fabric every Q quanta (default 16)")
+    pi.add_argument("--strikes", type=int, default=2,
+                    help="faults before quarantine under that policy")
+    pi.add_argument("--retries", type=int, default=2,
+                    help="bounded config-load retry attempts")
+    pi.add_argument(
+        "--campaign-seed", type=int, default=7,
+        help="campaign seed; per-trial fault-plan seeds derive from it",
     )
 
     pt = sub.add_parser(
@@ -339,6 +392,36 @@ def main(argv: list[str] | None = None) -> int:
         outcome = machine.outcome(verify=args.verify)
         print(f"resumed from  : {resumed_from:,} cycles")
         _print_outcome(outcome)
+    elif args.command == "inject":
+        config = CampaignConfig(
+            workload=args.workload,
+            instances=args.instances,
+            trials=args.trials,
+            policies=tuple(
+                name.strip() for name in args.policies.split(",") if name.strip()
+            ),
+            quantum_ms=args.quantum_ms,
+            scale=args.scale,
+            seed=args.campaign_seed if args.seed is None else args.seed,
+            config_upset_rate=args.config_rate,
+            datapath_error_rate=args.datapath_rate,
+            transfer_error_rate=args.transfer_rate,
+            state_upset_rate=args.state_rate,
+            scrub_interval_quanta=args.scrub_interval,
+            quarantine_strikes=args.strikes,
+            max_load_retries=args.retries,
+            policy=args.replacement,
+        )
+        runner = _make_runner(args)
+        # Campaigns always verify: counting silently corrupted outputs
+        # is the point of the exercise.
+        report = run_campaign(config, runner=runner, verify=True)
+        _report_sweep(runner, args)
+        print(render_campaign(report))
+        if args.csv:
+            with open(args.csv, "w") as handle:
+                handle.write(report.to_csv() + "\n")
+            print(f"\nCSV written to {args.csv}")
     elif args.command == "trace":
         spec = ExperimentSpec(
             workload=args.workload,

@@ -22,6 +22,7 @@ from ..baselines.memmap import memmap_config
 from ..config import MachineConfig
 from ..cpu.program import Program
 from ..errors import ExperimentError
+from ..faults import FaultPlan
 from ..kernel.porsche import KernelStats, Porsche
 from ..machine import Machine, _spec_from_dict
 from .scaling import DEFAULT_SCALE, scaled_config
@@ -57,6 +58,9 @@ class ExperimentSpec:
     tlb_entries: int = 16
     promote_on_free: bool = False
     allow_sharing: bool = False
+    #: Fault-injection scenario for dependability campaigns (see
+    #: :mod:`repro.faults`); ``None`` disables injection entirely.
+    fault_plan: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if self.instances < 1:
@@ -95,6 +99,12 @@ class ExperimentSpec:
         # what it computes — all tiers are bit-identical — so cached
         # results and warm-start checkpoints are shared across tiers.
         payload["config"].pop("exec_tier", None)
+        # A disabled fault plan leaves the machine bit-identical to a
+        # pre-fault-injection build; dropping the null field keeps the
+        # key (and hence every cached result) bit-identical too.
+        if self.fault_plan is None:
+            payload.pop("fault_plan", None)
+            payload["config"].pop("fault_plan", None)
         blob = json.dumps(payload, sort_keys=True, default=repr)
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
@@ -110,6 +120,7 @@ class ExperimentSpec:
             # None is the sentinel for "use the default machine seed";
             # an explicit 0 is a real seed and must not be replaced.
             seed=MachineConfig.seed if self.seed is None else self.seed,
+            fault_plan=self.fault_plan,
         )
         if self.architecture == "memmap":
             config = memmap_config(config)
@@ -131,6 +142,10 @@ class RunOutcome:
     cis: dict[str, int] = field(default_factory=dict)
     #: Per-process (cpu_cycles, kernel_cycles).
     process_cycles: list[tuple[int, int]] = field(default_factory=list)
+    #: Dependability metrics, populated only when the spec carries a
+    #: fault plan (injected/detected/recovered counts, recovery latency,
+    #: availability — see :meth:`repro.machine.Machine.outcome`).
+    faults: dict = field(default_factory=dict)
 
     @property
     def mean_completion(self) -> float:

@@ -31,8 +31,11 @@ import json
 import multiprocessing
 import os
 import pickle
+import sys
 import tempfile
 import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from hashlib import sha256
 from pathlib import Path
@@ -73,16 +76,38 @@ def default_cache_dir() -> Path:
     return Path.cwd() / ".repro-cache"
 
 
+def _evict_corrupt(path: Path, kind: str, error: Exception) -> None:
+    """Delete an unparseable store entry and warn once about it.
+
+    A corrupt file that stays on disk turns every future run of the same
+    point into a silent miss *plus* a doomed re-read; dropping it makes
+    the next store attempt succeed cleanly.
+    """
+    try:
+        os.unlink(path)
+    except OSError:
+        return
+    print(
+        f"repro: dropped corrupt {kind} entry {path.name} "
+        f"({type(error).__name__})",
+        file=sys.stderr,
+    )
+
+
 class ResultCache:
     """Pickle-per-point result store under ``root``.
 
     Load failures of any kind (missing file, truncated pickle, stale
     classes) are treated as cache misses — the cache is an accelerator,
-    never a source of errors.
+    never a source of errors.  A file that *exists* but cannot be
+    unpickled is deleted (and counted in :attr:`evictions`) so it cannot
+    shadow the slot forever.
     """
 
     def __init__(self, root: Path | str) -> None:
         self.root = Path(root)
+        #: Corrupt entries deleted by :meth:`load` since construction.
+        self.evictions = 0
 
     def key(self, spec: ExperimentSpec, verify: bool) -> str:
         blob = f"{spec.spec_key()}:verify={int(bool(verify))}:v={RESULTS_VERSION}"
@@ -96,11 +121,16 @@ class ResultCache:
         try:
             with open(path, "rb") as handle:
                 outcome = pickle.load(handle)
+        except FileNotFoundError:
+            return None
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, TypeError):
+                ImportError, TypeError) as error:
+            self.evictions += 1
+            _evict_corrupt(path, "result-cache", error)
             return None
         # Guard against (astronomically unlikely) key collisions and
-        # against keys minted by an older hashing scheme.
+        # against keys minted by an older hashing scheme.  These entries
+        # are *valid* pickles for some other point, so leave them alone.
         if not isinstance(outcome, RunOutcome) or outcome.spec != spec:
             return None
         return outcome
@@ -142,6 +172,8 @@ class CheckpointStore:
 
     def __init__(self, root: Path | str) -> None:
         self.root = Path(root)
+        #: Corrupt entries deleted by :meth:`load` since construction.
+        self.evictions = 0
 
     def key(self, spec: ExperimentSpec) -> str:
         blob = f"{spec.spec_key()}:ckpt:v={CHECKPOINT_VERSION}"
@@ -155,11 +187,19 @@ class CheckpointStore:
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 checkpoint = json.load(handle)
-        except (OSError, ValueError):
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError) as error:
+            self.evictions += 1
+            _evict_corrupt(path, "checkpoint", error)
             return None
         if not isinstance(checkpoint, dict) or (
             checkpoint.get("format") != CHECKPOINT_FORMAT
         ):
+            self.evictions += 1
+            _evict_corrupt(
+                path, "checkpoint", ValueError("not a machine checkpoint")
+            )
             return None
         return checkpoint
 
@@ -190,6 +230,10 @@ class SweepStats:
     warm_started: int = 0
     #: Executed points that produced a checkpoint for future warm starts.
     captured: int = 0
+    #: Points re-run serially in the parent after a pool worker died.
+    worker_retries: int = 0
+    #: Corrupt cache/checkpoint files deleted during loads.
+    cache_evictions: int = 0
     elapsed: float = 0.0
 
 
@@ -282,12 +326,33 @@ class SweepRunner:
             return (index, specs[index], verify, warm.get(index), capture)
 
         if len(pending) > 1 and self.jobs > 1:
-            payloads = [payload(i) for i in pending]
-            with self._pool(min(self.jobs, len(pending))) as pool:
-                for index, outcome, captured in pool.imap_unordered(
-                    _run_indexed, payloads, chunksize=1
-                ):
+            payloads = {index: payload(index) for index in pending}
+            remaining = set(pending)
+            pool = self._pool(min(self.jobs, len(pending)))
+            try:
+                futures = {
+                    pool.submit(_run_indexed, payloads[index]): index
+                    for index in pending
+                }
+                for future in as_completed(futures):
+                    try:
+                        index, outcome, captured = future.result()
+                    except BrokenProcessPool:
+                        # A worker died (OOM kill, segfault in a native
+                        # extension...).  Don't abort the sweep: keep the
+                        # results that made it back and re-run the
+                        # casualties serially below.
+                        continue
+                    remaining.discard(index)
                     finish(index, outcome, captured)
+            except BrokenProcessPool:
+                pass
+            finally:
+                pool.shutdown(wait=True, cancel_futures=True)
+            for index in sorted(remaining):
+                self.stats.worker_retries += 1
+                __, outcome, captured = _run_indexed(payloads[index])
+                finish(index, outcome, captured)
         else:
             for index in pending:
                 __, outcome, captured = _run_indexed(payload(index))
@@ -295,11 +360,17 @@ class SweepRunner:
 
         self.stats.points += total
         self.stats.elapsed += time.perf_counter() - start
+        if self.cache is not None:
+            self.stats.cache_evictions += self.cache.evictions
+            self.cache.evictions = 0
+        if self.checkpoints is not None:
+            self.stats.cache_evictions += self.checkpoints.evictions
+            self.checkpoints.evictions = 0
         assert all(outcome is not None for outcome in results)
         return results  # type: ignore[return-value]
 
     @staticmethod
-    def _pool(processes: int):
+    def _pool(processes: int) -> ProcessPoolExecutor:
         # Fork is markedly cheaper than spawn and inherits the already-
         # imported simulator; fall back to the platform default where
         # fork is unavailable (e.g. macOS pythons defaulting to spawn).
@@ -307,4 +378,4 @@ class SweepRunner:
         context = multiprocessing.get_context(
             "fork" if "fork" in methods else None
         )
-        return context.Pool(processes=processes)
+        return ProcessPoolExecutor(max_workers=processes, mp_context=context)

@@ -231,6 +231,37 @@ class TraceBus:
         if self.recording:
             self._record(ev.CisKill(self._now(), pid))
 
+    # ---- fabric faults (see repro.faults) -----------------------------------
+    def fault_injected(self, pid: int, fault: str, target: int) -> None:
+        self.counters.on_fault_injected(pid, fault, target)
+        if self.recording:
+            self._record(ev.FaultInjected(self._now(), pid, fault, target))
+
+    def fault_detected(
+        self, pid: int, fault: str, target: int, via: str
+    ) -> None:
+        self.counters.on_fault_detected(pid, fault, target, via)
+        if self.recording:
+            self._record(
+                ev.FaultDetected(self._now(), pid, fault, target, via)
+            )
+
+    def fault_recovered(
+        self, pid: int, fault: str, target: int, action: str, cycles: int
+    ) -> None:
+        self.counters.on_fault_recovered(pid, fault, target, action, cycles)
+        if self.recording:
+            self._record(
+                ev.FaultRecovered(
+                    self._now(), pid, fault, target, action, cycles
+                )
+            )
+
+    def pfu_quarantined(self, pid: int, pfu: int) -> None:
+        self.counters.on_pfu_quarantined(pid, pfu)
+        if self.recording:
+            self._record(ev.PfuQuarantined(self._now(), pid, pfu))
+
     # ---- cycle charges and termination ---------------------------------------
     def _cpu_burst_full(self, pid: int, cycles: int, instructions: int) -> None:
         self.counters.on_cpu_burst(pid, cycles, instructions)

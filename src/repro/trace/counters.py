@@ -19,7 +19,13 @@ from dataclasses import asdict, dataclass, field
 
 from . import events as ev
 
-__all__ = ["KernelStats", "CISStats", "ProcessStats", "CounterSink"]
+__all__ = [
+    "KernelStats",
+    "CISStats",
+    "ProcessStats",
+    "FaultStats",
+    "CounterSink",
+]
 
 
 class _StatBag:
@@ -92,6 +98,46 @@ class ProcessStats(_StatBag):
         return self.cpu_cycles + self.kernel_cycles
 
 
+@dataclass
+class FaultStats(_StatBag):
+    """Dependability accounting (see :mod:`repro.faults`).
+
+    ``injected`` is keyed by fault kind, ``detected`` by detection
+    mechanism (``parity``/``scrub``/``checksum``) and ``recovered`` by
+    the recovery action taken.  ``recovery_cycles`` is the summed
+    latency of every recovery — the numerator of the campaign report's
+    unavailability figure.
+    """
+
+    injected: dict[str, int] = field(default_factory=dict)
+    detected: dict[str, int] = field(default_factory=dict)
+    recovered: dict[str, int] = field(default_factory=dict)
+    quarantined: int = 0
+    recovery_cycles: int = 0
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    @property
+    def total_detected(self) -> int:
+        return sum(self.detected.values())
+
+    @property
+    def total_recovered(self) -> int:
+        return sum(self.recovered.values())
+
+    @property
+    def empty(self) -> bool:
+        return not (
+            self.injected
+            or self.detected
+            or self.recovered
+            or self.quarantined
+            or self.recovery_cycles
+        )
+
+
 class CounterSink:
     """Rebuilds the legacy stat bags from bus callbacks.
 
@@ -104,13 +150,14 @@ class CounterSink:
     complete stream through a fresh sink reproduces a live sink's state.
     """
 
-    __slots__ = ("kernel", "cis", "dispatch", "_process")
+    __slots__ = ("kernel", "cis", "dispatch", "faults", "_process")
 
     def __init__(self) -> None:
         self.kernel = KernelStats()
         self.cis = CISStats()
         #: Decode-stage resolutions by outcome (``hit``/``soft``/``fault``).
         self.dispatch: dict[str, int] = {"hit": 0, "soft": 0, "fault": 0}
+        self.faults = FaultStats()
         self._process: dict[int, ProcessStats] = {}
 
     def process(self, pid: int) -> ProcessStats:
@@ -192,6 +239,27 @@ class CounterSink:
     def on_cis_kill(self, pid: int) -> None:
         self.cis.kills += 1
 
+    # ---- fabric faults ------------------------------------------------------
+    def on_fault_injected(self, pid: int, fault: str, target: int) -> None:
+        bag = self.faults.injected
+        bag[fault] = bag.get(fault, 0) + 1
+
+    def on_fault_detected(
+        self, pid: int, fault: str, target: int, via: str
+    ) -> None:
+        bag = self.faults.detected
+        bag[via] = bag.get(via, 0) + 1
+
+    def on_fault_recovered(
+        self, pid: int, fault: str, target: int, action: str, cycles: int
+    ) -> None:
+        bag = self.faults.recovered
+        bag[action] = bag.get(action, 0) + 1
+        self.faults.recovery_cycles += cycles
+
+    def on_pfu_quarantined(self, pid: int, pfu: int) -> None:
+        self.faults.quarantined += 1
+
     # ---- cycle charges and termination -------------------------------------
     def on_cpu_burst(self, pid: int, cycles: int, instructions: int) -> None:
         self.kernel.total_cycles += cycles
@@ -214,7 +282,7 @@ class CounterSink:
 
     # ---- machine-state protocol --------------------------------------------
     def snapshot(self) -> dict:
-        return {
+        state = {
             "kernel": self.kernel.snapshot(),
             "cis": self.cis.snapshot(),
             "dispatch": dict(self.dispatch),
@@ -223,6 +291,12 @@ class CounterSink:
                 for pid, stats in self._process.items()
             },
         }
+        # Emitted only when fault injection left a mark, so checkpoints
+        # of injection-free machines are byte-identical to pre-fault
+        # builds of this format.
+        if not self.faults.empty:
+            state["faults"] = self.faults.snapshot()
+        return state
 
     def restore(self, state: dict) -> None:
         """Reinstate counter values **in place** — the kernel and every
@@ -233,6 +307,7 @@ class CounterSink:
         self.cis.restore(state["cis"])
         self.dispatch = {"hit": 0, "soft": 0, "fault": 0}
         self.dispatch.update(state["dispatch"])
+        self.faults.restore(state.get("faults", FaultStats().snapshot()))
         blank = ProcessStats().snapshot()
         for pid, stats in self._process.items():
             stats.restore(state["process"].get(str(pid), blank))
@@ -279,4 +354,14 @@ _REPLAY = {
     ev.ProcessExit: lambda s, e: s.on_process_exit(
         e.pid, e.status, e.killed, e.reason
     ),
+    ev.FaultInjected: lambda s, e: s.on_fault_injected(
+        e.pid, e.fault, e.target
+    ),
+    ev.FaultDetected: lambda s, e: s.on_fault_detected(
+        e.pid, e.fault, e.target, e.via
+    ),
+    ev.FaultRecovered: lambda s, e: s.on_fault_recovered(
+        e.pid, e.fault, e.target, e.action, e.cycles
+    ),
+    ev.PfuQuarantined: lambda s, e: s.on_pfu_quarantined(e.pid, e.pfu),
 }

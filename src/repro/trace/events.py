@@ -45,6 +45,10 @@ __all__ = [
     "CisCharge",
     "CisKill",
     "ProcessExit",
+    "FaultInjected",
+    "FaultDetected",
+    "FaultRecovered",
+    "PfuQuarantined",
 ]
 
 
@@ -273,3 +277,50 @@ class ProcessExit(TraceEvent):
     killed: bool
     reason: str | None
     kind = "process_exit"
+
+
+@dataclass(frozen=True, slots=True)
+class FaultInjected(TraceEvent):
+    """The fault injector corrupted fabric state (see :mod:`repro.faults`).
+
+    ``fault`` is the fault kind (``config``/``datapath``/``transfer``/
+    ``state``); ``target`` the PFU/region index hit.  ``pid`` is -1 for
+    quantum-boundary injections, which no process caused.
+    """
+
+    fault: str
+    target: int
+    kind = "fault_injected"
+
+
+@dataclass(frozen=True, slots=True)
+class FaultDetected(TraceEvent):
+    """A fabric fault was caught (``via`` parity, scrub, or checksum)."""
+
+    fault: str
+    target: int
+    via: str
+    kind = "fault_detected"
+
+
+@dataclass(frozen=True, slots=True)
+class FaultRecovered(TraceEvent):
+    """The kernel repaired a detected fault.
+
+    ``action`` names the recovery taken (``reload``/``fallback``/
+    ``retry``/``quarantine``); ``cycles`` its total latency.
+    """
+
+    fault: str
+    target: int
+    action: str
+    cycles: int
+    kind = "fault_recovered"
+
+
+@dataclass(frozen=True, slots=True)
+class PfuQuarantined(TraceEvent):
+    """A PFU was retired from service after repeated faults."""
+
+    pfu: int
+    kind = "pfu_quarantined"

@@ -193,3 +193,55 @@ def test_policy_always_returns_a_candidate(policy_name, candidate_indices, round
     for _ in range(rounds):
         victim = policy.choose(candidates, bank)
         assert victim.index in candidate_indices
+
+
+class TestQuarantineExclusion:
+    """The CIS filters quarantined PFUs out of the candidate list (fault
+    recovery, §repro.faults); no policy may resurrect one — even when it
+    looks like the most attractive victim."""
+
+    QUARANTINED = 2
+
+    def candidates(self, bank):
+        return [pfu for pfu in bank if pfu.index != self.QUARANTINED]
+
+    @pytest.mark.parametrize("name", POLICY_NAMES)
+    def test_never_selects_quarantined(self, name):
+        policy = make_policy(name, seed=3)
+        bank = loaded_bank()
+        picks = [
+            policy.choose(self.candidates(bank), bank).index
+            for _ in range(12)
+        ]
+        assert self.QUARANTINED not in picks
+
+    def test_lru_skips_quarantined_even_when_oldest(self):
+        policy = LRUReplacement()
+        bank = loaded_bank()
+        # Every healthy PFU just completed work; the quarantined one is
+        # idle, i.e. the perfect LRU victim — it still must not be picked.
+        for index in range(len(bank)):
+            if index != self.QUARANTINED:
+                complete_one(bank, index)
+        victim = policy.choose(self.candidates(bank), bank)
+        assert victim.index != self.QUARANTINED
+
+    def test_second_chance_skips_quarantined_when_all_referenced(self):
+        policy = SecondChanceReplacement()
+        bank = loaded_bank()
+        # Pin every healthy PFU: all reference bits set.  The two-sweep
+        # clock and its fallback must both stay inside the candidates.
+        for index in range(len(bank)):
+            if index != self.QUARANTINED:
+                complete_one(bank, index)
+        picks = [
+            policy.choose(self.candidates(bank), bank).index
+            for _ in range(8)
+        ]
+        assert self.QUARANTINED not in picks
+
+    def test_all_quarantined_is_an_error_not_a_pick(self):
+        policy = make_policy("round_robin")
+        bank = loaded_bank()
+        with pytest.raises(KernelError):
+            policy.choose([], bank)

@@ -2,7 +2,9 @@
 
 import csv
 import io
+import os
 import pickle
+import signal
 
 import pytest
 
@@ -87,6 +89,42 @@ class TestParallelEquivalence:
             SweepRunner(jobs=0)
 
 
+#: Parent pid recorded at import: lets the fragile worker below die only
+#: inside forked pool children, never in the pytest process itself.
+_PARENT_PID = os.getpid()
+
+
+def _fragile_run_indexed(payload):
+    """Worker stand-in: hard-kill the child on the second sweep point.
+
+    Module-level so the pool can resolve it by name; forked children
+    inherit the monkeypatched binding from the parent.
+    """
+    index = payload[0]
+    if index == 1 and os.getpid() != _PARENT_PID:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return runner_module.__dict__["_real_run_indexed"](payload)
+
+
+class TestWorkerDeath:
+    def test_dead_worker_points_rerun_serially(self, monkeypatch):
+        specs = [spec(instances=n) for n in (1, 2, 3)]
+        reference = SweepRunner().run(specs)
+
+        monkeypatch.setitem(
+            runner_module.__dict__, "_real_run_indexed",
+            runner_module._run_indexed,
+        )
+        monkeypatch.setattr(
+            runner_module, "_run_indexed", _fragile_run_indexed
+        )
+        runner = SweepRunner(jobs=2)
+        outcomes = runner.run(specs)
+        assert outcomes == reference
+        assert runner.stats.worker_retries >= 1
+        assert runner.stats.executed == len(specs)
+
+
 class TestResultCache:
     def test_hit_skips_execution(self, tmp_path, monkeypatch):
         calls = []
@@ -137,6 +175,41 @@ class TestResultCache:
         path = cache.path(cache.key(point, verify=False))
         path.write_bytes(b"not a pickle")
         assert cache.load(point, verify=False) is None
+
+    def test_corrupt_entry_is_evicted(self, tmp_path, capsys):
+        cache = ResultCache(tmp_path)
+        point = spec()
+        SweepRunner(cache=cache).run([point])
+        path = cache.path(cache.key(point, verify=False))
+        path.write_bytes(b"not a pickle")
+        assert cache.load(point, verify=False) is None
+        assert cache.evictions == 1
+        assert not path.exists()  # cannot shadow the slot forever
+        assert "dropped corrupt result-cache" in capsys.readouterr().err
+        # The next sweep re-executes and repopulates the slot cleanly.
+        runner = SweepRunner(cache=cache)
+        runner.run([point])
+        assert runner.stats.cache_evictions == 1
+        assert runner.stats.executed == 1
+        assert cache.load(point, verify=False) is not None
+
+    def test_missing_entry_is_not_an_eviction(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.load(spec(), verify=False) is None
+        assert cache.evictions == 0
+
+    def test_foreign_valid_entry_is_left_alone(self, tmp_path):
+        # A valid pickle for some *other* point (key collision / legacy
+        # scheme) is a miss but must not be deleted.
+        cache = ResultCache(tmp_path)
+        point, other = spec(), spec(instances=2)
+        (outcome,) = SweepRunner(cache=cache).run([other])
+        path = cache.path(cache.key(point, verify=False))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(pickle.dumps(outcome))
+        assert cache.load(point, verify=False) is None
+        assert cache.evictions == 0
+        assert path.exists()
 
     def test_entry_roundtrips_through_pickle(self, tmp_path):
         cache = ResultCache(tmp_path)
@@ -210,6 +283,32 @@ class TestCheckpointStore:
         assert runner.stats.warm_started == 0
         assert runner.stats.captured == 1  # replaced the corrupt entry
         assert store.load(point) is not None
+
+    def test_corrupt_checkpoint_is_evicted(self, tmp_path, capsys):
+        store = CheckpointStore(tmp_path / "ckpt")
+        point = spec()
+        path = store.path(store.key(point))
+        path.parent.mkdir(parents=True)
+        path.write_text("not json")
+        assert store.load(point) is None
+        assert store.evictions == 1
+        assert not path.exists()
+        assert "dropped corrupt checkpoint" in capsys.readouterr().err
+
+    def test_wrong_format_checkpoint_is_evicted(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        point = spec()
+        path = store.path(store.key(point))
+        path.parent.mkdir(parents=True)
+        path.write_text('{"format": "something-else"}')
+        assert store.load(point) is None
+        assert store.evictions == 1
+        assert not path.exists()
+
+    def test_missing_checkpoint_is_not_an_eviction(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        assert store.load(spec()) is None
+        assert store.evictions == 0
 
 
 class TestProgress:
