@@ -44,7 +44,13 @@ from .trace.bus import TraceBus
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from .sim.experiment import ExperimentSpec, RunOutcome
 
-__all__ = ["Machine", "CHECKPOINT_FORMAT", "CHECKPOINT_VERSION"]
+__all__ = [
+    "Machine",
+    "CHECKPOINT_FORMAT",
+    "CHECKPOINT_VERSION",
+    "spec_to_dict",
+    "spec_from_dict",
+]
 
 #: Identifies a checkpoint document and guards against format drift.
 CHECKPOINT_FORMAT = "repro-machine-checkpoint"
@@ -78,6 +84,12 @@ def _spec_from_dict(payload: dict) -> "ExperimentSpec":
     if fields.get("fault_plan") is not None:
         fields["fault_plan"] = plan_from_dict(fields["fault_plan"])
     return ExperimentSpec(**fields)
+
+
+#: Public names for the spec codec: checkpoints and the serve protocol
+#: share one wire format for experiment specs.
+spec_to_dict = _spec_to_dict
+spec_from_dict = _spec_from_dict
 
 
 class Machine:

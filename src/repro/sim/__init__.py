@@ -16,7 +16,13 @@ exposes all of them from the command line.
 
 from .scaling import DEFAULT_SCALE, scaled_config
 from .experiment import ExperimentSpec, RunOutcome, run_experiment
-from .runner import ResultCache, SweepRunner, default_cache_dir
+from .jobs import Job, JobQueue, JobState, QueueFull, Scheduler
+from .runner import (
+    CheckpointStore,
+    ResultCache,
+    SweepRunner,
+    default_cache_dir,
+)
 from .series import FigureData, Series, SeriesPoint
 from .figures import figure2, figure3, speedup_table
 from .report import render_figure, render_table
@@ -27,6 +33,12 @@ __all__ = [
     "ExperimentSpec",
     "RunOutcome",
     "run_experiment",
+    "Job",
+    "JobQueue",
+    "JobState",
+    "QueueFull",
+    "Scheduler",
+    "CheckpointStore",
     "ResultCache",
     "SweepRunner",
     "default_cache_dir",

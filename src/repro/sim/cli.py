@@ -9,14 +9,20 @@ Commands:
 * ``checkpoint`` / ``resume`` — run a point partway, snapshot the whole
   machine to JSON, and finish it later (in any interpreter) with a
   bit-identical outcome;
-* ``trace`` — one point with event tracing and timelines.
+* ``trace`` — one point with event tracing and timelines;
+* ``serve`` — the long-lived multi-tenant simulation daemon;
+* ``submit`` — one point through a running daemon, events streamed;
+* ``cache`` — result/checkpoint store stats and age-based pruning.
 
 All commands accept ``--scale`` (default 1e-3; smaller is faster and
 coarser) and write CSV next to the plain-text rendering when ``--csv``
 is given.  The sweep commands (``fig2``/``fig3``/``speedup``) also take
 ``--jobs N`` (fan points out over N worker processes; results stay
 bit-identical to serial) and ``--no-cache`` (bypass the on-disk result
-cache keyed by experiment-spec content hashes).
+cache keyed by experiment-spec content hashes).  When a ``repro
+serve`` daemon is listening on the socket, sweeps are submitted to it
+instead of a private pool — under ``--tenant`` / ``--priority`` —
+unless ``--no-daemon`` opts out.
 """
 
 from __future__ import annotations
@@ -29,8 +35,10 @@ from ..machine import Machine
 from ..trace.sinks import JsonlSink, RingBufferSink
 from ..trace.timeline import TimelineAggregator
 from .campaign import CampaignConfig, render_campaign, run_campaign
+from .client import ServeClient
 from .experiment import ExperimentSpec, run_experiment
 from .figures import contention_knees, figure2, figure3, speedup_table
+from .jobs import DEFAULT_TENANT, Scheduler
 from .report import render_figure, render_speedup, render_table, render_trace
 from .runner import (
     CheckpointStore,
@@ -40,6 +48,7 @@ from .runner import (
     default_checkpoint_dir,
 )
 from .scaling import DEFAULT_SCALE
+from .serve import ServeDaemon, daemon_available, default_socket_path
 
 
 def _progress(stream):
@@ -95,6 +104,24 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
              f"{default_checkpoint_dir()}); results are bit-identical "
              "either way",
     )
+    parser.add_argument(
+        "--tenant", default=DEFAULT_TENANT, metavar="NAME",
+        help="tenant namespace for cache accounting and daemon "
+             "submission (default %(default)s)",
+    )
+    parser.add_argument(
+        "--priority", type=int, default=0,
+        help="job priority when sharing a daemon (higher runs first)",
+    )
+    parser.add_argument(
+        "--no-daemon", action="store_true",
+        help="run in-process even when a repro serve daemon is listening",
+    )
+    parser.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="daemon socket (default: $REPRO_SERVE_SOCKET or the "
+             "per-user path in the temp directory)",
+    )
 
 
 def _make_runner(args) -> SweepRunner:
@@ -102,7 +129,24 @@ def _make_runner(args) -> SweepRunner:
     checkpoints = (
         CheckpointStore(default_checkpoint_dir()) if args.warm_start else None
     )
-    return SweepRunner(jobs=args.jobs, cache=cache, checkpoints=checkpoints)
+    scheduler = None
+    if not args.no_daemon and daemon_available(args.socket):
+        # A live daemon owns the worker fleet (and the stores): the
+        # sweep becomes one of its tenants instead of forking a pool.
+        scheduler = ServeClient(args.socket)
+    return SweepRunner(
+        jobs=args.jobs,
+        cache=cache,
+        checkpoints=checkpoints,
+        scheduler=scheduler,
+        tenant=args.tenant,
+        priority=args.priority,
+    )
+
+
+def _finish_runner(runner: SweepRunner) -> None:
+    if isinstance(runner.scheduler, ServeClient):
+        runner.scheduler.close()
 
 
 def _report_sweep(runner: SweepRunner, args, stream=sys.stderr) -> None:
@@ -121,11 +165,25 @@ def _report_sweep(runner: SweepRunner, args, stream=sys.stderr) -> None:
     evicted = (
         f"evicted {stats.cache_evictions} | " if stats.cache_evictions else ""
     )
+    coalesced = (
+        f"coalesced {stats.coalesced} | " if stats.coalesced else ""
+    )
+    preempted = (
+        f"preempted {stats.preemptions} | " if stats.preemptions else ""
+    )
+    timed_out = (
+        f"timed out {stats.timeouts} | " if stats.timeouts else ""
+    )
+    via = (
+        "daemon" if isinstance(runner.scheduler, ServeClient)
+        else f"jobs {runner.jobs}"
+    )
     print(file=stream)
     print(
         f"sweep: {stats.points} points | cache hits {stats.cache_hits} | "
         f"executed {stats.executed} | {warm}{retried}{evicted}"
-        f"{stats.elapsed:.2f}s | jobs {runner.jobs}",
+        f"{coalesced}{preempted}{timed_out}"
+        f"{stats.elapsed:.2f}s | {via}",
         file=stream,
     )
 
@@ -299,6 +357,87 @@ def main(argv: list[str] | None = None) -> int:
         help="show the last N raw events (default 8; 0 disables)",
     )
 
+    pv = sub.add_parser(
+        "serve",
+        help="run the multi-tenant simulation daemon: concurrent clients "
+             "submit experiment points over a local socket into one "
+             "shared, preemptible worker fleet",
+    )
+    pv.add_argument("--workers", type=int, default=2, metavar="N",
+                    help="worker processes (default 2)")
+    pv.add_argument(
+        "--slice-quanta", type=int, default=256, metavar="N",
+        help="preempt (checkpoint + requeue) every job after N scheduler "
+             "quanta so jobs can migrate between workers under pressure "
+             "(default 256; 0 runs jobs to completion)",
+    )
+    pv.add_argument(
+        "--queue-size", type=int, default=0, metavar="N",
+        help="bound the pending-job queue (default 0: unbounded); a "
+             "full queue rejects submissions — backpressure reaches "
+             "the client",
+    )
+    pv.add_argument(
+        "--rotate-workers", action="store_true",
+        help="retire the worker pool at every preemption, forcing each "
+             "resume onto a fresh process (migration stress mode)",
+    )
+    pv.add_argument("--socket", default=None, metavar="PATH",
+                    help="listen here instead of the default socket")
+    pv.add_argument(
+        "--no-cache", action="store_true",
+        help="serve without the on-disk result cache",
+    )
+    pv.add_argument(
+        "--warm-start", action="store_true",
+        help="warm-start jobs from stored machine checkpoints",
+    )
+
+    pb = sub.add_parser(
+        "submit",
+        help="submit one experiment point to a running daemon and wait "
+             "for (streamed) completion",
+    )
+    _add_common(pb)
+    pb.add_argument("workload", choices=("echo", "alpha", "twofish"))
+    pb.add_argument("instances", type=int)
+    pb.add_argument("--quantum-ms", type=float, default=10.0)
+    pb.add_argument(
+        "--policy", default="round_robin",
+        choices=("round_robin", "random", "lru", "second_chance"),
+    )
+    pb.add_argument("--soft", action="store_true",
+                    help="defer to software alternatives when the array is full")
+    pb.add_argument(
+        "--architecture", default="proteus",
+        choices=("proteus", "prisc", "memmap"),
+    )
+    pb.add_argument(
+        "--timeout-s", type=float, default=None, metavar="S",
+        help="per-job wall-clock budget enforced at slice boundaries",
+    )
+    pb.add_argument(
+        "--timeout-action", default="fail", choices=("fail", "demote"),
+        help="on timeout: fail the job, or checkpoint it and requeue "
+             "at lower priority (default fail)",
+    )
+
+    pk = sub.add_parser(
+        "cache",
+        help="result/checkpoint store maintenance (stats, pruning)",
+    )
+    ksub = pk.add_subparsers(dest="cache_command", required=True)
+    ksub.add_parser(
+        "stats", help="entry counts, bytes, per-tenant reference breakdown"
+    )
+    kpr = ksub.add_parser(
+        "prune", help="drop entries unused for longer than --max-age"
+    )
+    kpr.add_argument(
+        "--max-age", type=float, default=7 * 24 * 3600.0, metavar="SECONDS",
+        help="age threshold in seconds (default: 7 days)",
+    )
+
     args = parser.parse_args(argv)
     # ``resume`` takes no common options; treat it as always-quiet.
     progress = (
@@ -316,6 +455,7 @@ def main(argv: list[str] | None = None) -> int:
             runner=runner,
         )
         _report_sweep(runner, args)
+        _finish_runner(runner)
         _emit(figure, args)
     elif args.command == "fig3":
         runner = _make_runner(args)
@@ -328,6 +468,7 @@ def main(argv: list[str] | None = None) -> int:
             runner=runner,
         )
         _report_sweep(runner, args)
+        _finish_runner(runner)
         _emit(figure, args)
     elif args.command == "speedup":
         runner = _make_runner(args)
@@ -339,6 +480,7 @@ def main(argv: list[str] | None = None) -> int:
             runner=runner,
         )
         _report_sweep(runner, args)
+        _finish_runner(runner)
         print(render_speedup(figure))
         if args.csv:
             with open(args.csv, "w") as handle:
@@ -417,6 +559,7 @@ def main(argv: list[str] | None = None) -> int:
         # is the point of the exercise.
         report = run_campaign(config, runner=runner, verify=True)
         _report_sweep(runner, args)
+        _finish_runner(runner)
         print(render_campaign(report))
         if args.csv:
             with open(args.csv, "w") as handle:
@@ -457,6 +600,99 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"  @{event.cycle:<12,} {event.to_dict()}")
         if args.jsonl:
             print(f"\nJSONL event stream written to {args.jsonl}")
+    elif args.command == "serve":
+        cache = None if args.no_cache else ResultCache(default_cache_dir())
+        checkpoints = (
+            CheckpointStore(default_checkpoint_dir())
+            if args.warm_start else None
+        )
+        scheduler = Scheduler(
+            workers=args.workers,
+            cache=cache,
+            checkpoints=checkpoints,
+            queue_size=args.queue_size,
+            slice_quanta=args.slice_quanta or None,
+            rotate_workers=args.rotate_workers,
+        )
+        daemon = ServeDaemon(scheduler, args.socket)
+        print(
+            f"repro serve: {args.workers} workers | "
+            f"slice {args.slice_quanta or 'off'} quanta | "
+            f"socket {daemon.socket_path}",
+            file=sys.stderr,
+        )
+        try:
+            daemon.run()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            scheduler.shutdown(wait=True, cancel_pending=True)
+            stats = scheduler.stats
+            print(
+                f"serve: {stats.submitted} submitted | "
+                f"{stats.executed} executed | "
+                f"cache hits {stats.cache_hits} | "
+                f"coalesced {stats.coalesced} | "
+                f"preemptions {stats.preemptions}",
+                file=sys.stderr,
+            )
+    elif args.command == "submit":
+        spec = ExperimentSpec(
+            workload=args.workload,
+            instances=args.instances,
+            quantum_ms=args.quantum_ms,
+            policy=args.policy,
+            soft=args.soft,
+            architecture=args.architecture,
+            scale=args.scale,
+            seed=args.seed,
+        )
+        with ServeClient(args.socket) as client:
+            job = client.submit(
+                spec,
+                tenant=args.tenant,
+                verify=args.verify,
+                priority=args.priority,
+                timeout_s=args.timeout_s,
+                timeout_action=args.timeout_action,
+            )
+            if not args.quiet:
+                job.add_listener(
+                    lambda job, kind, message: print(
+                        f"[job {job.id}] {kind}", file=sys.stderr
+                    )
+                )
+            outcome = job.result()
+            if not args.quiet:
+                how = (
+                    "cache" if job.cached
+                    else "coalesced" if job.coalesced
+                    else f"{job.preemptions} preemptions on "
+                         f"{len(set(job.worker_pids))} workers"
+                )
+                print(f"[job {job.id}] done ({how})", file=sys.stderr)
+        _print_outcome(outcome)
+    elif args.command == "cache":
+        cache = ResultCache(default_cache_dir())
+        checkpoints = CheckpointStore(default_checkpoint_dir())
+        if args.cache_command == "stats":
+            stats = cache.stats()
+            ck = checkpoints.stats()
+            print(f"cache root    : {cache.root}")
+            print(f"results       : {stats['entries']} entries, "
+                  f"{stats['bytes']:,} bytes")
+            for ns, refs in sorted(stats["namespaces"].items()):
+                print(f"  tenant {ns:<12}: {refs} refs")
+            print(f"checkpoints   : {ck['entries']} entries, "
+                  f"{ck['bytes']:,} bytes")
+        else:
+            pruned = cache.prune(args.max_age)
+            ck = checkpoints.prune(args.max_age)
+            print(f"results       : removed {pruned['removed']}, "
+                  f"kept {pruned['kept']}, "
+                  f"dangling refs {pruned['dangling_refs']}")
+            print(f"checkpoints   : removed {ck['removed']}, "
+                  f"kept {ck['kept']}")
     return 0
 
 

@@ -1,0 +1,335 @@
+"""Synchronous client for the ``repro serve`` daemon.
+
+:class:`ServeClient` speaks the line-delimited JSON protocol of
+:mod:`repro.sim.serve` over a unix socket and hands back
+:class:`RemoteJob` handles that mirror the in-process
+:class:`~repro.sim.jobs.Job` API — ``result()``, ``add_done_callback``,
+the cached/coalesced/preemptions bookkeeping — so a
+:class:`~repro.sim.runner.SweepRunner` can use a client as its
+scheduler backend without knowing the work left the process.  A
+background reader thread demultiplexes replies (matched by request id)
+and job lifecycle events (matched by job id); outcomes are rebuilt with
+:func:`~repro.sim.experiment.outcome_from_dict`, an exact round-trip,
+so daemon results are bit-identical to local ones.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import socket
+import threading
+from pathlib import Path
+from typing import Callable
+
+from ..errors import ExperimentError
+from ..machine import spec_to_dict
+from .experiment import ExperimentSpec, RunOutcome, outcome_from_dict
+from .jobs import DEFAULT_TENANT, JobState, QueueFull
+from .serve import default_socket_path
+
+__all__ = ["RemoteJob", "ServeClient"]
+
+
+class RemoteJob:
+    """Client-side handle for a job running in the daemon.
+
+    Mirrors the :class:`~repro.sim.jobs.Job` completion API; lifecycle
+    fields (state, preemptions, worker pids, the cached/coalesced
+    flags) update as events stream in, with the terminal event carrying
+    the authoritative final counters.
+    """
+
+    def __init__(
+        self,
+        job_id: int,
+        spec: ExperimentSpec,
+        *,
+        tenant: str = DEFAULT_TENANT,
+        verify: bool = False,
+        priority: int = 0,
+        timeout_s: float | None = None,
+        timeout_action: str = "fail",
+    ) -> None:
+        self.id = job_id
+        self.spec = spec
+        self.tenant = tenant
+        self.verify = verify
+        self.priority = priority
+        self.timeout_s = timeout_s
+        self.timeout_action = timeout_action
+        self.state = JobState.PENDING
+        self.outcome: RunOutcome | None = None
+        self.error: str | None = None
+        self.cached = False
+        self.coalesced = False
+        self.warm_started = False
+        self.stored_checkpoint = False
+        self.retries = 0
+        self.preemptions = 0
+        self.timed_out = False
+        self.worker_pids: list[int] = []
+        self._done = threading.Event()
+        self._callbacks: list[Callable[["RemoteJob"], None]] = []
+        self._listeners: list[Callable] = []
+        self._lock = threading.Lock()
+
+    # -- completion handle (Job-compatible) --------------------------------
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        return self._done.wait(timeout)
+
+    def result(self, timeout: float | None = None) -> RunOutcome:
+        if not self._done.wait(timeout):
+            raise ExperimentError(f"job {self.id} still {self.state.value}")
+        if self.state is not JobState.DONE:
+            raise ExperimentError(
+                f"job {self.id} {self.state.value}: {self.error}"
+            )
+        assert self.outcome is not None
+        return self.outcome
+
+    def add_done_callback(self, fn: Callable[["RemoteJob"], None]) -> None:
+        with self._lock:
+            if not self._done.is_set():
+                self._callbacks.append(fn)
+                return
+        fn(self)
+
+    def add_listener(self, fn: Callable) -> None:
+        with self._lock:
+            self._listeners.append(fn)
+
+    # -- reader-thread side ------------------------------------------------
+    def _apply_event(self, message: dict) -> None:
+        kind = message.get("event")
+        if kind == "running":
+            self.state = JobState.RUNNING
+        elif kind == "preempted":
+            self.preemptions += 1
+            pid = message.get("pid")
+            if pid is not None:
+                self.worker_pids.append(pid)
+        elif kind == "demoted":
+            self.priority = message.get("priority", self.priority)
+            self.timed_out = True
+        elif kind in ("done", "failed", "cancelled"):
+            self._finish(message)
+            kind = None  # _finish already notified listeners
+        if kind is not None:
+            for listener in list(self._listeners):
+                listener(self, kind, message)
+
+    def _finish(self, message: dict) -> None:
+        with self._lock:
+            if self._done.is_set():
+                return
+            self.state = JobState(message.get("state", "failed"))
+            self.error = message.get("error")
+            for field in ("cached", "coalesced", "warm_started",
+                          "stored_checkpoint", "retries", "preemptions",
+                          "timed_out", "priority"):
+                if field in message:
+                    setattr(self, field, message[field])
+            if message.get("worker_pids"):
+                self.worker_pids = list(message["worker_pids"])
+            if message.get("outcome") is not None:
+                self.outcome = outcome_from_dict(message["outcome"])
+            callbacks, self._callbacks = self._callbacks, []
+            self._done.set()
+        for listener in list(self._listeners):
+            listener(self, message.get("event"), message)
+        for fn in callbacks:
+            fn(self)
+
+
+class ServeClient:
+    """One connection to a running ``repro serve`` daemon.
+
+    Thread safe: requests are serialised on the socket and a dedicated
+    reader thread routes replies and events.  Usable wherever a
+    :class:`~repro.sim.jobs.Scheduler` is — ``SweepRunner(scheduler=
+    ServeClient())`` sends a whole sweep through the daemon.
+    """
+
+    def __init__(self, socket_path: Path | str | None = None,
+                 timeout: float = 600.0) -> None:
+        self.socket_path = (
+            Path(socket_path) if socket_path else default_socket_path()
+        )
+        self.timeout = timeout
+        try:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.connect(str(self.socket_path))
+        except OSError as error:
+            raise ExperimentError(
+                f"no daemon at {self.socket_path} ({error}); "
+                "start one with 'repro serve'"
+            ) from error
+        self._file = self._sock.makefile("rb")
+        self._send_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._pending: dict[int, dict] = {}
+        self._jobs: dict[int, RemoteJob] = {}
+        self._closed = False
+        self._reader = threading.Thread(
+            target=self._read_loop, name="repro-serve-client", daemon=True
+        )
+        self._reader.start()
+
+    # -- protocol ----------------------------------------------------------
+    def _request(self, payload: dict, job_factory=None) -> dict:
+        req_id = next(self._ids)
+        payload["id"] = req_id
+        entry = {
+            "ready": threading.Event(),
+            "reply": None,
+            "factory": job_factory,
+            "job": None,
+        }
+        with self._state_lock:
+            if self._closed:
+                raise ExperimentError("client is closed")
+            self._pending[req_id] = entry
+        with self._send_lock:
+            self._sock.sendall(json.dumps(payload).encode("utf-8") + b"\n")
+        if not entry["ready"].wait(self.timeout):
+            raise ExperimentError(
+                f"daemon did not reply to {payload.get('op')!r} "
+                f"within {self.timeout}s"
+            )
+        reply = entry["reply"]
+        if not reply.get("ok"):
+            error = reply.get("error") or "unknown daemon error"
+            if "queue full" in error:
+                raise QueueFull(error)
+            raise ExperimentError(f"daemon error: {error}")
+        return entry
+
+    def _read_loop(self) -> None:
+        try:
+            for line in self._file:
+                try:
+                    message = json.loads(line)
+                except ValueError:
+                    continue
+                if "id" in message:
+                    with self._state_lock:
+                        entry = self._pending.pop(message["id"], None)
+                    if entry is None:
+                        continue
+                    entry["reply"] = message
+                    factory = entry["factory"]
+                    if (factory is not None and message.get("ok")
+                            and "job" in message):
+                        # Register the handle *here*, before signalling
+                        # the submitter — the very next line on the wire
+                        # may already be this job's first event.
+                        job = factory(message)
+                        with self._state_lock:
+                            self._jobs[job.id] = job
+                        entry["job"] = job
+                    entry["ready"].set()
+                elif "event" in message:
+                    with self._state_lock:
+                        job = self._jobs.get(message.get("job"))
+                    if job is not None:
+                        job._apply_event(message)
+        except (OSError, ValueError):
+            pass
+        finally:
+            self._sever("connection to daemon lost")
+
+    def _sever(self, reason: str) -> None:
+        with self._state_lock:
+            self._closed = True
+            pending = list(self._pending.values())
+            self._pending.clear()
+            jobs = list(self._jobs.values())
+        for entry in pending:
+            entry["reply"] = {"ok": False, "error": reason}
+            entry["ready"].set()
+        for job in jobs:
+            if not job.done():
+                job._apply_event(
+                    {"event": "failed", "state": "failed", "error": reason}
+                )
+
+    # -- public API ---------------------------------------------------------
+    def ping(self) -> dict:
+        return self._request({"op": "ping"})["reply"]
+
+    def stats(self) -> dict:
+        return self._request({"op": "stats"})["reply"]
+
+    def submit(
+        self,
+        spec: ExperimentSpec,
+        *,
+        tenant: str = DEFAULT_TENANT,
+        verify: bool = False,
+        priority: int = 0,
+        timeout_s: float | None = None,
+        timeout_action: str = "fail",
+        checkpoint: dict | None = None,
+        block: bool = True,
+    ) -> RemoteJob:
+        """Submit one point to the daemon; returns its remote handle.
+
+        ``block`` is accepted for scheduler-API parity but the daemon
+        always answers immediately: a full queue comes back as
+        :class:`~repro.sim.jobs.QueueFull` either way.
+        """
+        payload = {
+            "op": "submit",
+            "spec": spec_to_dict(spec),
+            "tenant": tenant,
+            "verify": verify,
+            "priority": priority,
+            "timeout_s": timeout_s,
+            "timeout_action": timeout_action,
+        }
+        if checkpoint is not None:
+            payload["checkpoint"] = checkpoint
+
+        def factory(reply: dict) -> RemoteJob:
+            job = RemoteJob(
+                reply["job"], spec, tenant=tenant, verify=verify,
+                priority=priority, timeout_s=timeout_s,
+                timeout_action=timeout_action,
+            )
+            # The reply carries the immediately-knowable flags (cache
+            # hit, coalesced) so callers see them without waiting for
+            # the terminal event.
+            job.cached = bool(reply.get("cached", False))
+            job.coalesced = bool(reply.get("coalesced", False))
+            return job
+
+        entry = self._request(payload, job_factory=factory)
+        job = entry["job"]
+        assert job is not None
+        return job
+
+    def shutdown_server(self) -> None:
+        """Ask the daemon to stop (it finishes in-flight slices)."""
+        try:
+            self._request({"op": "shutdown"})
+        except ExperimentError:
+            pass  # it may hang up before the reply lands
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+        self._reader.join(timeout=5.0)
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -152,6 +152,44 @@ class RunOutcome:
         return sum(self.completions) / len(self.completions)
 
 
+def outcome_to_dict(outcome: RunOutcome) -> dict:
+    """A :class:`RunOutcome` as a JSON-serialisable document.
+
+    The wire format of the serve protocol: everything a client needs to
+    rebuild the exact outcome object — specs round-trip through the
+    machine-checkpoint spec codec, stat bags through their dataclass
+    fields.  ``outcome_from_dict(outcome_to_dict(o)) == o``.
+    """
+    from ..machine import spec_to_dict
+
+    return {
+        "spec": spec_to_dict(outcome.spec),
+        "makespan": outcome.makespan,
+        "completions": list(outcome.completions),
+        "verified": outcome.verified,
+        "kernel_stats": asdict(outcome.kernel_stats),
+        "cis": dict(outcome.cis),
+        "process_cycles": [list(pair) for pair in outcome.process_cycles],
+        "faults": outcome.faults,
+    }
+
+
+def outcome_from_dict(payload: dict) -> RunOutcome:
+    """Inverse of :func:`outcome_to_dict` (exact, bit-identical)."""
+    from ..machine import spec_from_dict
+
+    return RunOutcome(
+        spec=spec_from_dict(payload["spec"]),
+        makespan=payload["makespan"],
+        completions=list(payload["completions"]),
+        verified=payload["verified"],
+        kernel_stats=KernelStats(**payload["kernel_stats"]),
+        cis=dict(payload["cis"]),
+        process_cycles=[tuple(pair) for pair in payload["process_cycles"]],
+        faults=payload["faults"],
+    )
+
+
 @lru_cache(maxsize=64)
 def _cached_program(
     workload_name: str,

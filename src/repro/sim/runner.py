@@ -1,12 +1,16 @@
-"""Sweep execution: process-pool fan-out plus spec-keyed result caching.
+"""Sweep execution: a scheduler client plus the on-disk stores.
 
 Every figure in the paper is a sweep over (workload x policy x quantum x
 instance-count) points that are completely independent of one another,
-so they parallelise trivially.  :class:`SweepRunner` fans a list of
-:class:`~repro.sim.experiment.ExperimentSpec` out over a
-``multiprocessing`` pool and merges the outcomes **deterministically**:
-results are returned in spec order regardless of completion order, so a
-parallel sweep is bit-identical to the serial reference (``jobs=1``).
+so they parallelise trivially.  :class:`SweepRunner` used to *be* the
+scheduler; it is now one client of :class:`~repro.sim.jobs.Scheduler`:
+each point is submitted as a job (with the runner's tenant, priority
+and optional timeout) and the outcomes are merged back **in spec
+order** regardless of completion order, so a parallel sweep is
+bit-identical to the serial reference (``jobs=1``).  Hand the runner a
+shared scheduler — or a :class:`~repro.sim.client.ServeClient` attached
+to a running ``repro serve`` daemon — and the same sweep rides a
+long-lived multi-tenant worker fleet instead of a private pool.
 
 Completed points are stored in an on-disk :class:`ResultCache` keyed by
 :meth:`ExperimentSpec.spec_key` — a stable content hash of the spec and
@@ -17,25 +21,32 @@ spec (or the result schema) changed; everything else is a cache hit.
 Layout of the cache directory (default ``benchmarks/results/cache/``)::
 
     cache/
-      <first two hex digits>/
-        <full sha256 key>.pkl     # pickled RunOutcome
+      objects/
+        <first two hex digits>/
+          <full sha256 key>.pkl   # pickled RunOutcome (shared, one copy)
+      ns/
+        <tenant>/
+          <full sha256 key>.ref   # this tenant touched that object
+      checkpoints/                # CheckpointStore (content-keyed, shared)
 
-Workers never touch the cache: outcomes are marshalled back to the
-parent, which is the single writer.  Progress callbacks likewise fire in
-the parent as results arrive.
+Outcomes are pure functions of the spec key, so the object store is
+shared across tenants — concurrent tenants *share hits* — while each
+tenant's ``ns/`` subdirectory records which entries it owns for
+accounting and pruning, so they never clobber each other.  Workers
+never touch the stores: outcomes are marshalled back to the scheduler,
+which is the single writer.
 """
 
 from __future__ import annotations
 
 import json
-import multiprocessing
 import os
 import pickle
+import queue as _queue
+import re
 import sys
 import tempfile
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from hashlib import sha256
 from pathlib import Path
@@ -43,11 +54,8 @@ from typing import Callable, Sequence
 
 from ..errors import ExperimentError
 from ..machine import CHECKPOINT_FORMAT, CHECKPOINT_VERSION
-from .experiment import (
-    ExperimentSpec,
-    RunOutcome,
-    run_experiment_capturing,
-)
+from .experiment import ExperimentSpec, RunOutcome
+from .jobs import DEFAULT_TENANT, Job, JobState, Scheduler
 
 #: Bump when the semantics of :class:`RunOutcome` (or of running an
 #: experiment point) change in a way that stales previously cached
@@ -58,6 +66,18 @@ RESULTS_VERSION = 1
 #: is the position of the just-finished point in the submitted spec list
 #: and ``cached`` is True when it was served from the result cache.
 SweepProgressFn = Callable[[int, int, int, bool], None]
+
+#: Tenant namespaces become directory names; keep them boring.
+_NAMESPACE_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+def validate_namespace(namespace: str) -> str:
+    if not _NAMESPACE_RE.match(namespace):
+        raise ExperimentError(
+            f"invalid tenant namespace {namespace!r} (want 1-64 chars "
+            "of letters, digits, '.', '_', '-')"
+        )
+    return namespace
 
 
 def default_cache_dir() -> Path:
@@ -94,30 +114,107 @@ def _evict_corrupt(path: Path, kind: str, error: Exception) -> None:
     )
 
 
-class ResultCache:
-    """Pickle-per-point result store under ``root``.
+def _tree_stats(root: Path, suffix: str) -> tuple[int, int]:
+    """(entry count, total bytes) for every ``suffix`` file under root."""
+    entries = 0
+    total = 0
+    if not root.is_dir():
+        return 0, 0
+    for path in root.rglob(f"*{suffix}"):
+        try:
+            total += path.stat().st_size
+        except OSError:
+            continue
+        entries += 1
+    return entries, total
 
-    Load failures of any kind (missing file, truncated pickle, stale
-    classes) are treated as cache misses — the cache is an accelerator,
-    never a source of errors.  A file that *exists* but cannot be
-    unpickled is deleted (and counted in :attr:`evictions`) so it cannot
-    shadow the slot forever.
+
+def _prune_tree(root: Path, suffix: str, cutoff: float) -> tuple[int, int]:
+    """Delete ``suffix`` files under root older than ``cutoff`` (mtime).
+
+    Returns ``(removed, kept)``.  Missing trees prune to nothing.
+    """
+    removed = 0
+    kept = 0
+    if not root.is_dir():
+        return 0, 0
+    for path in root.rglob(f"*{suffix}"):
+        try:
+            if path.stat().st_mtime < cutoff:
+                os.unlink(path)
+                removed += 1
+            else:
+                kept += 1
+        except OSError:
+            continue
+    return removed, kept
+
+
+class ResultCache:
+    """Content-addressed result store with per-tenant namespaces.
+
+    Objects (pickled outcomes) live once under ``root/objects/`` and
+    are keyed purely by content hash, so every namespace sees every
+    hit; ``root/ns/<namespace>/`` holds zero-byte reference markers
+    recording which tenants use which entries.  Load failures of any
+    kind (missing file, truncated pickle, stale classes) are treated as
+    cache misses — the cache is an accelerator, never a source of
+    errors.  A file that *exists* but cannot be unpickled is deleted
+    (and counted in :attr:`evictions`) so it cannot shadow the slot
+    forever.
     """
 
-    def __init__(self, root: Path | str) -> None:
+    def __init__(
+        self,
+        root: Path | str,
+        namespace: str = DEFAULT_TENANT,
+        _evcell: list[int] | None = None,
+    ) -> None:
         self.root = Path(root)
-        #: Corrupt entries deleted by :meth:`load` since construction.
-        self.evictions = 0
+        self.namespace = validate_namespace(namespace)
+        #: Corrupt-entry eviction counter, shared across every
+        #: namespace view of the same cache (see :meth:`for_namespace`).
+        self._evcell = _evcell if _evcell is not None else [0]
+
+    @property
+    def evictions(self) -> int:
+        """Corrupt entries deleted by :meth:`load` since construction."""
+        return self._evcell[0]
+
+    @evictions.setter
+    def evictions(self, value: int) -> None:
+        self._evcell[0] = value
+
+    def for_namespace(self, namespace: str) -> "ResultCache":
+        """A view of the same store under another tenant namespace."""
+        if namespace == self.namespace:
+            return self
+        return ResultCache(self.root, namespace, _evcell=self._evcell)
 
     def key(self, spec: ExperimentSpec, verify: bool) -> str:
         blob = f"{spec.spec_key()}:verify={int(bool(verify))}:v={RESULTS_VERSION}"
         return sha256(blob.encode("utf-8")).hexdigest()
 
     def path(self, key: str) -> Path:
-        return self.root / key[:2] / f"{key}.pkl"
+        return self.root / "objects" / key[:2] / f"{key}.pkl"
+
+    def ref_path(self, key: str, namespace: str | None = None) -> Path:
+        ns = namespace if namespace is not None else self.namespace
+        return self.root / "ns" / ns / f"{key}.ref"
+
+    def _touch_ref(self, key: str) -> None:
+        ref = self.ref_path(key)
+        if ref.exists():
+            return
+        try:
+            ref.parent.mkdir(parents=True, exist_ok=True)
+            ref.touch()
+        except OSError:
+            pass  # accounting only; never fail a load over it
 
     def load(self, spec: ExperimentSpec, verify: bool) -> RunOutcome | None:
-        path = self.path(self.key(spec, verify))
+        key = self.key(spec, verify)
+        path = self.path(key)
         try:
             with open(path, "rb") as handle:
                 outcome = pickle.load(handle)
@@ -125,7 +222,7 @@ class ResultCache:
             return None
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
                 ImportError, TypeError) as error:
-            self.evictions += 1
+            self._evcell[0] += 1
             _evict_corrupt(path, "result-cache", error)
             return None
         # Guard against (astronomically unlikely) key collisions and
@@ -133,14 +230,21 @@ class ResultCache:
         # are *valid* pickles for some other point, so leave them alone.
         if not isinstance(outcome, RunOutcome) or outcome.spec != spec:
             return None
+        self._touch_ref(key)
+        try:
+            os.utime(path)  # age-based pruning tracks last use
+        except OSError:
+            pass
         return outcome
 
     def store(self, spec: ExperimentSpec, verify: bool,
               outcome: RunOutcome) -> None:
-        path = self.path(self.key(spec, verify))
+        key = self.key(spec, verify)
+        path = self.path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         # Atomic publish: never leave a truncated pickle for a
-        # concurrent reader (or an interrupted run) to trip over.
+        # concurrent reader (or an interrupted run) to trip over — and
+        # two tenants racing on the same key both land a whole object.
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
@@ -152,6 +256,40 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        self._touch_ref(key)
+
+    # -- accounting / maintenance -----------------------------------------
+    def namespaces(self) -> list[str]:
+        ns_root = self.root / "ns"
+        if not ns_root.is_dir():
+            return []
+        return sorted(p.name for p in ns_root.iterdir() if p.is_dir())
+
+    def stats(self) -> dict:
+        """Entry/byte totals plus a per-namespace reference breakdown."""
+        entries, total = _tree_stats(self.root / "objects", ".pkl")
+        per_namespace = {
+            ns: sum(1 for _ in (self.root / "ns" / ns).glob("*.ref"))
+            for ns in self.namespaces()
+        }
+        return {"entries": entries, "bytes": total,
+                "namespaces": per_namespace}
+
+    def prune(self, max_age_s: float, now: float | None = None) -> dict:
+        """Drop objects unused for ``max_age_s`` seconds (plus any
+        namespace references left dangling).  Returns removal counts."""
+        cutoff = (now if now is not None else time.time()) - max_age_s
+        removed, kept = _prune_tree(self.root / "objects", ".pkl", cutoff)
+        dangling = 0
+        for ns in self.namespaces():
+            for ref in (self.root / "ns" / ns).glob("*.ref"):
+                if not self.path(ref.stem).exists():
+                    try:
+                        os.unlink(ref)
+                        dangling += 1
+                    except OSError:
+                        pass
+        return {"removed": removed, "kept": kept, "dangling_refs": dangling}
 
 
 def default_checkpoint_dir() -> Path:
@@ -164,10 +302,11 @@ class CheckpointStore:
 
     Unlike the result cache the key is *verify-independent*: output
     verification only reads end state, so the machine's evolution — and
-    hence any mid-run checkpoint — is identical either way.  Load
-    failures are misses; a stale checkpoint is additionally rejected by
-    the spec-key cross-check in
-    :func:`~repro.sim.experiment.run_experiment_capturing`.
+    hence any mid-run checkpoint — is identical either way.  It is also
+    namespace-free: a checkpoint is a pure function of the spec, so
+    every tenant shares the same entry.  Load failures are misses; a
+    stale checkpoint is additionally rejected by the spec-key
+    cross-check in :func:`~repro.sim.experiment.run_experiment_capturing`.
     """
 
     def __init__(self, root: Path | str) -> None:
@@ -218,6 +357,15 @@ class CheckpointStore:
                 pass
             raise
 
+    def stats(self) -> dict:
+        entries, total = _tree_stats(self.root, ".json")
+        return {"entries": entries, "bytes": total}
+
+    def prune(self, max_age_s: float, now: float | None = None) -> dict:
+        cutoff = (now if now is not None else time.time()) - max_age_s
+        removed, kept = _prune_tree(self.root, ".json", cutoff)
+        return {"removed": removed, "kept": kept}
+
 
 @dataclass
 class SweepStats:
@@ -226,39 +374,35 @@ class SweepStats:
     points: int = 0
     executed: int = 0
     cache_hits: int = 0
+    #: Points absorbed by an identical in-flight job (shared scheduler).
+    coalesced: int = 0
     #: Executed points that resumed from a stored machine checkpoint.
     warm_started: int = 0
     #: Executed points that produced a checkpoint for future warm starts.
     captured: int = 0
-    #: Points re-run serially in the parent after a pool worker died.
+    #: Retries after a pool worker died mid-point.
     worker_retries: int = 0
+    #: Points that hit their per-job wall-clock timeout.
+    timeouts: int = 0
+    #: Slice preemptions absorbed by the scheduler for our points.
+    preemptions: int = 0
     #: Corrupt cache/checkpoint files deleted during loads.
     cache_evictions: int = 0
     elapsed: float = 0.0
 
 
-def _run_indexed(
-    payload: tuple[int, ExperimentSpec, bool, dict | None, bool]
-):
-    """Pool worker: run one point, echoing its submission index back so
-    the parent can merge out-of-order completions deterministically.
-    Workers never touch the stores: the warm-start checkpoint arrives in
-    the payload and any captured checkpoint rides back to the parent."""
-    index, spec, verify, checkpoint, capture = payload
-    outcome, captured = run_experiment_capturing(
-        spec, verify=verify, checkpoint=checkpoint, capture=capture
-    )
-    return index, outcome, captured
-
-
 class SweepRunner:
-    """Execute experiment sweeps, optionally parallel and cached.
+    """Execute experiment sweeps through the job scheduler.
 
     ``jobs=1`` (the default) is the serial reference path: points run
     in submission order in this process, exactly as the figures did
     before this engine existed.  ``jobs>1`` fans cache misses out over
-    a process pool; results are merged back into submission order, so
-    the output is bit-identical either way.
+    a private worker pool.  Passing ``scheduler`` (a live
+    :class:`~repro.sim.jobs.Scheduler` or a
+    :class:`~repro.sim.client.ServeClient` connected to a daemon)
+    submits through that shared backend instead — priorities, tenants,
+    preemption and all.  Results are merged back into submission order,
+    so the output is bit-identical in every mode.
     """
 
     def __init__(
@@ -266,12 +410,22 @@ class SweepRunner:
         jobs: int = 1,
         cache: ResultCache | None = None,
         checkpoints: CheckpointStore | None = None,
+        scheduler=None,
+        tenant: str = DEFAULT_TENANT,
+        priority: int = 0,
+        timeout_s: float | None = None,
+        timeout_action: str = "fail",
     ) -> None:
         if jobs < 1:
             raise ExperimentError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.cache = cache
         self.checkpoints = checkpoints
+        self.scheduler = scheduler
+        self.tenant = validate_namespace(tenant)
+        self.priority = priority
+        self.timeout_s = timeout_s
+        self.timeout_action = timeout_action
         self.stats = SweepStats()
 
     def run(
@@ -279,103 +433,90 @@ class SweepRunner:
         specs: Sequence[ExperimentSpec],
         verify: bool = False,
         progress: SweepProgressFn | None = None,
+        priority: int | None = None,
+        timeout_s: float | None = None,
     ) -> list[RunOutcome]:
         start = time.perf_counter()
         total = len(specs)
         results: list[RunOutcome | None] = [None] * total
-        done = 0
+        priority = self.priority if priority is None else priority
+        timeout_s = self.timeout_s if timeout_s is None else timeout_s
 
-        pending: list[int] = []
-        warm: dict[int, dict] = {}
-        for index, spec in enumerate(specs):
-            hit = self.cache.load(spec, verify) if self.cache else None
-            if hit is not None:
-                results[index] = hit
-                done += 1
+        backend = self.scheduler
+        owned = backend is None
+        if owned:
+            backend = Scheduler(
+                workers=0 if self.jobs == 1 else self.jobs,
+                cache=self.cache,
+                checkpoints=self.checkpoints,
+            )
+
+        done_q: _queue.SimpleQueue = _queue.SimpleQueue()
+        finished = 0
+
+        def finish(index: int, job: Job) -> None:
+            if job.state is not JobState.DONE:
+                raise ExperimentError(
+                    f"sweep point {index} {job.state.value}: {job.error}"
+                )
+            results[index] = job.outcome
+            if job.cached:
                 self.stats.cache_hits += 1
-                if progress is not None:
-                    progress(done, total, index, True)
+            elif job.coalesced:
+                self.stats.coalesced += 1
             else:
-                if self.checkpoints is not None:
-                    checkpoint = self.checkpoints.load(spec)
-                    if checkpoint is not None:
-                        warm[index] = checkpoint
-                pending.append(index)
-
-        def finish(
-            index: int, outcome: RunOutcome, captured: dict | None
-        ) -> None:
-            nonlocal done
-            results[index] = outcome
-            done += 1
-            self.stats.executed += 1
-            if index in warm:
+                self.stats.executed += 1
+            if job.warm_started:
                 self.stats.warm_started += 1
-            if self.cache is not None:
-                self.cache.store(specs[index], verify, outcome)
-            if captured is not None and self.checkpoints is not None:
-                self.checkpoints.store(specs[index], captured)
+            if job.stored_checkpoint:
                 self.stats.captured += 1
-            if progress is not None:
-                progress(done, total, index, False)
+            self.stats.worker_retries += job.retries
+            self.stats.preemptions += job.preemptions
+            if job.timed_out:
+                self.stats.timeouts += 1
 
-        def payload(index: int):
-            # Points without a stored checkpoint capture one; points
-            # resuming from a checkpoint already have one on disk.
-            capture = self.checkpoints is not None and index not in warm
-            return (index, specs[index], verify, warm.get(index), capture)
+        def drain(block: bool) -> None:
+            nonlocal finished
+            while finished < total:
+                try:
+                    index, job = done_q.get(block=block)
+                except _queue.Empty:
+                    return
+                finish(index, job)
+                finished += 1
+                if progress is not None:
+                    progress(finished, total, index, job.cached)
+                block = False  # after one blocking get, sip the rest
 
-        if len(pending) > 1 and self.jobs > 1:
-            payloads = {index: payload(index) for index in pending}
-            remaining = set(pending)
-            pool = self._pool(min(self.jobs, len(pending)))
-            try:
-                futures = {
-                    pool.submit(_run_indexed, payloads[index]): index
-                    for index in pending
-                }
-                for future in as_completed(futures):
-                    try:
-                        index, outcome, captured = future.result()
-                    except BrokenProcessPool:
-                        # A worker died (OOM kill, segfault in a native
-                        # extension...).  Don't abort the sweep: keep the
-                        # results that made it back and re-run the
-                        # casualties serially below.
-                        continue
-                    remaining.discard(index)
-                    finish(index, outcome, captured)
-            except BrokenProcessPool:
-                pass
-            finally:
-                pool.shutdown(wait=True, cancel_futures=True)
-            for index in sorted(remaining):
-                self.stats.worker_retries += 1
-                __, outcome, captured = _run_indexed(payloads[index])
-                finish(index, outcome, captured)
-        else:
-            for index in pending:
-                __, outcome, captured = _run_indexed(payload(index))
-                finish(index, outcome, captured)
+        try:
+            for index, spec in enumerate(specs):
+                job = backend.submit(
+                    spec,
+                    tenant=self.tenant,
+                    verify=verify,
+                    priority=priority,
+                    timeout_s=timeout_s,
+                    timeout_action=self.timeout_action,
+                )
+                job.add_done_callback(
+                    lambda job, index=index: done_q.put((index, job))
+                )
+                # Keep serial/interactive progress timely: report every
+                # point that completed while we were submitting.
+                drain(block=False)
+            while finished < total:
+                drain(block=True)
+        finally:
+            if owned:
+                backend.shutdown(wait=True, cancel_pending=True)
+            if self.cache is not None:
+                self.stats.cache_evictions += self.cache.evictions
+                self.cache.evictions = 0
+            if self.checkpoints is not None:
+                self.stats.cache_evictions += self.checkpoints.evictions
+                self.checkpoints.evictions = 0
+            self.stats.points += total
+            self.stats.elapsed += time.perf_counter() - start
 
-        self.stats.points += total
-        self.stats.elapsed += time.perf_counter() - start
-        if self.cache is not None:
-            self.stats.cache_evictions += self.cache.evictions
-            self.cache.evictions = 0
-        if self.checkpoints is not None:
-            self.stats.cache_evictions += self.checkpoints.evictions
-            self.checkpoints.evictions = 0
         assert all(outcome is not None for outcome in results)
         return results  # type: ignore[return-value]
-
-    @staticmethod
-    def _pool(processes: int) -> ProcessPoolExecutor:
-        # Fork is markedly cheaper than spawn and inherits the already-
-        # imported simulator; fall back to the platform default where
-        # fork is unavailable (e.g. macOS pythons defaulting to spawn).
-        methods = multiprocessing.get_all_start_methods()
-        context = multiprocessing.get_context(
-            "fork" if "fork" in methods else None
-        )
-        return ProcessPoolExecutor(max_workers=processes, mp_context=context)

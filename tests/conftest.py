@@ -18,8 +18,10 @@ from repro.kernel.replacement import make_policy
 
 @pytest.fixture(autouse=True)
 def _isolated_result_cache(tmp_path, monkeypatch):
-    """Keep tests hermetic: never read or write the repo's sweep cache."""
+    """Keep tests hermetic: never read or write the repo's sweep cache,
+    and never discover (or squat on) a developer's serve daemon."""
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "result-cache"))
+    monkeypatch.setenv("REPRO_SERVE_SOCKET", str(tmp_path / "serve.sock"))
 
 
 @pytest.fixture

@@ -87,3 +87,20 @@ class TestEveryBoundary:
         assert resumed.finished
         assert resumed.clock == reference.clock
         assert resumed.outcome() == reference.outcome()
+
+
+class TestSlicedScheduler:
+    """The same property, one layer up: the job scheduler's preemptive
+    slicing uses these checkpoints, so a job evicted at *every* quantum
+    boundary must land on the uninterrupted outcome."""
+
+    def test_slice_per_quantum_is_exact(self, reference):
+        from repro.sim.jobs import Scheduler
+
+        expected = reference.outcome()
+        with Scheduler(workers=0, slice_quanta=1) as scheduler:
+            job = scheduler.submit(POINT, verify=True)
+            outcome = job.result()
+        assert outcome == expected
+        # Preempted at every boundary except the one where it finished.
+        assert job.preemptions == reference.stats.quanta - 1

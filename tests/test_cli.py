@@ -71,3 +71,65 @@ class TestFigureCommands:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestCacheCommand:
+    def _populate(self):
+        """One executed point -> one result object + one tenant ref."""
+        code = main(
+            [
+                "run", "alpha", "1",
+                "--scale", SCALE,
+                "--quantum-ms", "1.0",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        # `run` bypasses the sweep cache; seed it through a tiny sweep.
+        code = main(
+            [
+                "fig2", "--scale", SCALE, "--max-instances", "1",
+                "--quiet", "--no-daemon",
+            ]
+        )
+        assert code == 0
+
+    def test_stats_empty(self, capsys):
+        code = main(["cache", "stats"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "results       : 0 entries" in out
+        assert "checkpoints   : 0 entries" in out
+
+    def test_stats_after_sweep(self, capsys):
+        self._populate()
+        capsys.readouterr()
+        code = main(["cache", "stats"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "results       : 12 entries" in out  # fig2: 12 1-instance points
+        assert "tenant default" in out
+
+    def test_prune_keeps_fresh_entries(self, capsys):
+        self._populate()
+        capsys.readouterr()
+        code = main(["cache", "prune", "--max-age", "3600"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "removed 0" in out
+        assert "kept 12" in out
+
+    def test_prune_drops_old_entries(self, capsys):
+        self._populate()
+        capsys.readouterr()
+        code = main(["cache", "prune", "--max-age", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "removed 12" in out
+        code = main(["cache", "stats"])
+        out = capsys.readouterr().out
+        assert "results       : 0 entries" in out
+
+    def test_cache_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["cache"])

@@ -1,0 +1,241 @@
+"""The job scheduler core: queueing, slicing, migration, timeouts."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.sim.experiment import ExperimentSpec, run_experiment
+from repro.sim.jobs import (
+    Job,
+    JobQueue,
+    JobState,
+    QueueFull,
+    Scheduler,
+)
+from repro.sim.runner import ResultCache, SweepRunner
+
+SCALE = 1 / 8000
+
+
+def spec(**overrides) -> ExperimentSpec:
+    values = dict(workload="alpha", instances=1, quantum_ms=1.0, scale=SCALE)
+    values.update(overrides)
+    return ExperimentSpec(**values)
+
+
+def make_job(job_id=1, *, priority=0, **kwargs) -> Job:
+    return Job(job_id, spec(), priority=priority, **kwargs)
+
+
+class TestJobQueue:
+    def test_priority_descending_fifo_within_band(self):
+        queue = JobQueue()
+        low = make_job(1, priority=0)
+        first_high = make_job(2, priority=5)
+        second_high = make_job(3, priority=5)
+        queue.put(low)
+        queue.put(first_high)
+        queue.put(second_high)
+        assert queue.get() is first_high  # priority wins
+        assert queue.get() is second_high  # FIFO inside the band
+        assert queue.get() is low
+
+    def test_bounded_queue_rejects_when_full(self):
+        queue = JobQueue(maxsize=1)
+        queue.put(make_job(1))
+        with pytest.raises(QueueFull):
+            queue.put(make_job(2), block=False)
+        with pytest.raises(QueueFull):
+            queue.put(make_job(3), timeout=0.05)
+
+    def test_backpressure_blocks_until_space(self):
+        queue = JobQueue(maxsize=1)
+        queue.put(make_job(1))
+        admitted = threading.Event()
+
+        def submitter():
+            queue.put(make_job(2))
+            admitted.set()
+
+        thread = threading.Thread(target=submitter, daemon=True)
+        thread.start()
+        assert not admitted.wait(0.1)  # full queue holds the submitter
+        queue.get()
+        assert admitted.wait(5.0)  # space frees it
+        thread.join()
+
+    def test_close_wakes_getters(self):
+        queue = JobQueue()
+        got = []
+
+        def getter():
+            got.append(queue.get())
+
+        thread = threading.Thread(target=getter, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        queue.close()
+        thread.join(timeout=5.0)
+        assert got == [None]
+
+
+class TestInlineScheduler:
+    def test_inline_matches_run_experiment(self):
+        point = spec(instances=2)
+        reference = run_experiment(point, verify=False)
+        with Scheduler(workers=0) as scheduler:
+            job = scheduler.submit(point)
+            assert job.done()  # inline execution completes at submit
+            assert job.result() == reference
+
+    def test_cache_hit_completes_immediately(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        point = spec()
+        with Scheduler(workers=0, cache=cache) as first:
+            reference = first.submit(point).result()
+        with Scheduler(workers=0, cache=cache) as second:
+            job = second.submit(point)
+            assert job.cached
+            assert job.result() == reference
+            assert second.stats.cache_hits == 1
+            assert second.stats.executed == 0
+
+    def test_sliced_inline_bit_identical(self):
+        """Quantum-sliced execution (checkpoint every slice) lands on
+        exactly the uninterrupted outcome."""
+        point = spec(instances=2)
+        reference = run_experiment(point, verify=False)
+        with Scheduler(workers=0, slice_quanta=300) as scheduler:
+            job = scheduler.submit(point)
+            assert job.result() == reference
+            assert job.preemptions > 0  # it really was sliced
+
+    def test_failed_job_raises_from_result(self, monkeypatch):
+        import repro.sim.jobs as jobs_module
+
+        def boom(payload):
+            raise ExperimentError("kaboom")
+
+        monkeypatch.setattr(jobs_module, "_execute_slice", boom)
+        with Scheduler(workers=0) as scheduler:
+            job = scheduler.submit(spec())
+            assert job.state is JobState.FAILED
+            with pytest.raises(ExperimentError, match="kaboom"):
+                job.result()
+
+
+class TestPooledScheduler:
+    def test_pooled_sliced_bit_identical(self):
+        point = spec(instances=2)
+        reference = run_experiment(point, verify=False)
+        with Scheduler(workers=2, slice_quanta=512) as scheduler:
+            job = scheduler.submit(point)
+            assert job.result(timeout=120) == reference
+            assert job.preemptions > 0
+            assert len(job.worker_pids) == job.preemptions + 1
+
+    def test_rotate_workers_migrates_between_pids(self):
+        """Preempt on worker A, resume on worker B: with pool rotation
+        every slice lands on a fresh process, and the outcome is still
+        bit-identical to the uninterrupted run."""
+        point = spec(instances=2)
+        reference = run_experiment(point, verify=False)
+        with Scheduler(
+            workers=1, slice_quanta=1024, rotate_workers=True
+        ) as scheduler:
+            job = scheduler.submit(point)
+            outcome = job.result(timeout=120)
+        assert outcome == reference
+        assert job.preemptions >= 1
+        assert len(set(job.worker_pids)) >= 2  # it really moved
+
+    def test_coalescing_shares_one_execution(self):
+        point = spec(instances=2)
+        with Scheduler(workers=1, slice_quanta=512) as scheduler:
+            first = scheduler.submit(point)
+            second = scheduler.submit(point)  # identical, still in flight
+            a = first.result(timeout=120)
+            b = second.result(timeout=120)
+        assert second.coalesced
+        assert a == b
+        assert scheduler.stats.coalesced == 1
+        assert scheduler.stats.executed == 1
+
+    def test_migration_into_scheduler_via_checkpoint(self):
+        """An explicit checkpoint submission resumes exactly where an
+        external machine stopped (migration across schedulers)."""
+        from repro.machine import Machine
+
+        point = spec(instances=2)
+        reference = run_experiment(point, verify=False)
+        machine = Machine.from_spec(point)
+        machine.spawn_instances()
+        machine.run_quanta(16)
+        assert not machine.finished
+        checkpoint = machine.checkpoint()
+        with Scheduler(workers=1) as scheduler:
+            job = scheduler.submit(point, checkpoint=checkpoint)
+            assert job.result(timeout=120) == reference
+
+
+class TestTimeouts:
+    def test_timeout_fails_job(self):
+        point = spec(instances=2)
+        with Scheduler(workers=0, slice_quanta=256) as scheduler:
+            job = scheduler.submit(point, timeout_s=0.0)
+            assert job.state is JobState.FAILED
+            assert job.timed_out
+            assert job.checkpoint is not None  # checkpointed on the way out
+            assert scheduler.stats.timeouts == 1
+            with pytest.raises(ExperimentError, match="timed out"):
+                job.result()
+
+    def test_timeout_demotes_and_finishes(self):
+        point = spec(instances=2)
+        reference = run_experiment(point, verify=False)
+        with Scheduler(workers=0, slice_quanta=256) as scheduler:
+            job = scheduler.submit(
+                point, priority=3, timeout_s=0.0, timeout_action="demote"
+            )
+            assert job.result() == reference
+            assert job.timed_out
+            assert job.priority < 3  # requeued below its old band
+            assert scheduler.stats.timeouts == 1
+
+    def test_timeout_surfaces_in_sweep_stats(self):
+        runner = SweepRunner(timeout_s=0.0, timeout_action="demote")
+        outcomes = runner.run([spec(instances=2)])
+        assert len(outcomes) == 1
+        assert runner.stats.timeouts == 1
+
+    def test_invalid_timeout_action_rejected(self):
+        with pytest.raises(ExperimentError):
+            Job(1, spec(), timeout_action="explode")
+
+
+class TestPriorities:
+    def test_higher_priority_dispatches_first(self):
+        """With one worker and a busy slot, queued jobs drain in
+        priority order regardless of submission order."""
+        order = []
+        lock = threading.Lock()
+
+        def track(label):
+            def callback(job):
+                with lock:
+                    order.append(label)
+            return callback
+
+        with Scheduler(workers=1, slice_quanta=256) as scheduler:
+            # Distinct seeds: distinct jobs, no coalescing.
+            filler = scheduler.submit(spec(seed=100, instances=2))
+            low = scheduler.submit(spec(seed=101), priority=0)
+            high = scheduler.submit(spec(seed=102), priority=9)
+            low.add_done_callback(track("low"))
+            high.add_done_callback(track("high"))
+            filler.result(timeout=120)
+            low.result(timeout=120)
+            high.result(timeout=120)
+        assert order.index("high") < order.index("low")

@@ -2,12 +2,15 @@
 
 import csv
 import io
+import multiprocessing
 import os
 import pickle
 import signal
+import time
 
 import pytest
 
+import repro.sim.jobs as jobs_module
 import repro.sim.runner as runner_module
 from repro.errors import ExperimentError
 from repro.sim.experiment import (
@@ -94,35 +97,87 @@ class TestParallelEquivalence:
 _PARENT_PID = os.getpid()
 
 
-def _fragile_run_indexed(payload):
+def _fragile_execute_slice(payload):
     """Worker stand-in: hard-kill the child on the second sweep point.
 
     Module-level so the pool can resolve it by name; forked children
     inherit the monkeypatched binding from the parent.
     """
-    index = payload[0]
-    if index == 1 and os.getpid() != _PARENT_PID:
+    index = payload[1].instances  # specs below use instances 1..3
+    if index == 2 and os.getpid() != _PARENT_PID:
         os.kill(os.getpid(), signal.SIGKILL)
-    return runner_module.__dict__["_real_run_indexed"](payload)
+    return jobs_module.__dict__["_real_execute_slice"](payload)
 
 
 class TestWorkerDeath:
-    def test_dead_worker_points_rerun_serially(self, monkeypatch):
+    def test_dead_worker_points_retry_and_degrade(self, monkeypatch):
         specs = [spec(instances=n) for n in (1, 2, 3)]
         reference = SweepRunner().run(specs)
 
         monkeypatch.setitem(
-            runner_module.__dict__, "_real_run_indexed",
-            runner_module._run_indexed,
+            jobs_module.__dict__, "_real_execute_slice",
+            jobs_module._execute_slice,
         )
         monkeypatch.setattr(
-            runner_module, "_run_indexed", _fragile_run_indexed
+            jobs_module, "_execute_slice", _fragile_execute_slice
         )
         runner = SweepRunner(jobs=2)
         outcomes = runner.run(specs)
         assert outcomes == reference
         assert runner.stats.worker_retries >= 1
         assert runner.stats.executed == len(specs)
+
+
+def _slow_execute_slice(payload):
+    """Worker stand-in: make every point take a human-visible beat."""
+    time.sleep(0.4)
+    return jobs_module.__dict__["_real_execute_slice"](payload)
+
+
+class TestGracefulInterrupt:
+    def test_sigint_mid_sweep_leaves_no_orphans(self, monkeypatch):
+        """A slow sweep interrupted mid-run cancels what is pending,
+        shuts the pool down, and leaves no worker processes behind."""
+        monkeypatch.setitem(
+            jobs_module.__dict__, "_real_execute_slice",
+            jobs_module._execute_slice,
+        )
+        monkeypatch.setattr(
+            jobs_module, "_execute_slice", _slow_execute_slice
+        )
+        specs = [spec(instances=1, seed=n) for n in range(8)]
+        runner = SweepRunner(jobs=2)
+
+        def interrupt(done, total, index, cached):
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            runner.run(specs, progress=interrupt)
+        # The pool and dispatcher are gone: no orphaned children.
+        deadline = time.monotonic() + 10.0
+        while multiprocessing.active_children():
+            assert time.monotonic() < deadline, (
+                f"orphans: {multiprocessing.active_children()}"
+            )
+            time.sleep(0.05)
+
+    def test_shutdown_cancels_pending_jobs(self):
+        from repro.sim.jobs import JobState, Scheduler
+
+        scheduler = Scheduler(workers=1)
+        first = scheduler.submit(spec(instances=1), tenant="t")
+        queued = [
+            scheduler.submit(spec(instances=1, seed=n), tenant="t")
+            for n in range(1, 5)
+        ]
+        scheduler.shutdown(cancel_pending=True)
+        first.wait(timeout=30)
+        assert not multiprocessing.active_children()
+        states = {job.state for job in queued}
+        assert states <= {JobState.CANCELLED, JobState.DONE}
+        assert JobState.CANCELLED in states or all(
+            job.done() for job in queued
+        )
 
 
 class TestResultCache:
@@ -134,7 +189,7 @@ class TestResultCache:
             return run_experiment_capturing(point, verify=verify, **kwargs)
 
         monkeypatch.setattr(
-            runner_module, "run_experiment_capturing", counting
+            jobs_module, "run_experiment_capturing", counting
         )
         point = spec()
         cold = SweepRunner(cache=ResultCache(tmp_path))
@@ -157,7 +212,7 @@ class TestResultCache:
             return run_experiment_capturing(point, verify=verify, **kwargs)
 
         monkeypatch.setattr(
-            runner_module, "run_experiment_capturing", counting
+            jobs_module, "run_experiment_capturing", counting
         )
         cache = ResultCache(tmp_path)
         SweepRunner(cache=cache).run([spec()])
@@ -224,6 +279,79 @@ class TestResultCache:
         monkeypatch.setattr(runner_module, "RESULTS_VERSION",
                             RESULTS_VERSION + 1)
         assert cache.key(spec(), verify=False) != before
+
+
+class TestTenantNamespaces:
+    def test_namespaces_share_hits(self, tmp_path):
+        """Objects are content-addressed and shared: what one tenant
+        computed, another tenant's lookup finds."""
+        alice = ResultCache(tmp_path, namespace="alice")
+        point = spec()
+        (outcome,) = SweepRunner(cache=alice).run([point])
+        bob = alice.for_namespace("bob")
+        assert bob.load(point, verify=False) == outcome
+
+    def test_namespace_refs_track_usage(self, tmp_path):
+        alice = ResultCache(tmp_path, namespace="alice")
+        point = spec()
+        SweepRunner(cache=alice).run([point])
+        assert alice.namespaces() == ["alice"]
+        bob = alice.for_namespace("bob")
+        bob.load(point, verify=False)  # cross-tenant hit records a ref
+        assert alice.namespaces() == ["alice", "bob"]
+        stats = alice.stats()
+        assert stats["entries"] == 1
+        assert stats["bytes"] > 0
+        assert stats["namespaces"] == {"alice": 1, "bob": 1}
+
+    def test_for_namespace_shares_eviction_counter(self, tmp_path):
+        alice = ResultCache(tmp_path, namespace="alice")
+        point = spec()
+        SweepRunner(cache=alice).run([point])
+        bob = alice.for_namespace("bob")
+        alice.path(alice.key(point, verify=False)).write_bytes(b"garbage")
+        assert bob.load(point, verify=False) is None
+        assert alice.evictions == 1 and bob.evictions == 1
+
+    def test_invalid_namespace_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            ResultCache(tmp_path, namespace="../escape")
+        with pytest.raises(ExperimentError):
+            SweepRunner(tenant="bad/slash")
+
+    def test_prune_by_age(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        point = spec()
+        SweepRunner(cache=cache).run([point])
+        path = cache.path(cache.key(point, verify=False))
+        old = time.time() - 10 * 86400
+        os.utime(path, (old, old))
+        report = cache.prune(max_age_s=86400)
+        assert report["removed"] == 1 and report["kept"] == 0
+        assert not path.exists()
+        assert report["dangling_refs"] == 1  # ref followed its object
+        assert cache.load(point, verify=False) is None
+        assert cache.evictions == 0  # pruning is not corruption
+
+    def test_prune_keeps_fresh_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        point = spec()
+        (outcome,) = SweepRunner(cache=cache).run([point])
+        report = cache.prune(max_age_s=86400)
+        assert report["removed"] == 0 and report["kept"] == 1
+        assert cache.load(point, verify=False) == outcome
+
+    def test_checkpoint_store_stats_and_prune(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        point = spec()
+        SweepRunner(checkpoints=store).run([point])
+        stats = store.stats()
+        assert stats["entries"] == 1 and stats["bytes"] > 0
+        path = store.path(store.key(point))
+        old = time.time() - 10 * 86400
+        os.utime(path, (old, old))
+        assert store.prune(max_age_s=86400)["removed"] == 1
+        assert store.load(point) is None
 
 
 class TestCheckpointStore:
