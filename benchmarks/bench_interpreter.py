@@ -2,18 +2,22 @@
 
 The tiered interpreter (``MachineConfig.exec_tier``) trades compile
 effort for simulation throughput: ``step`` re-decodes every instruction,
-``closure`` pre-compiles one closure per instruction, and ``block``
+``closure`` pre-compiles one closure per instruction, ``block``
 additionally fuses straight-line runs into superinstructions and
-memoizes CDP dispatch.  All three are bit-identical (asserted in
-tests/test_blocks.py); this bench records how much wall-clock each tier
-buys on three kernels:
+memoizes CDP dispatch, and ``jit`` trace-compiles hot loops into
+generated straight-line Python with registers as locals.  All four are
+bit-identical (asserted in tests/test_blocks.py); this bench records how
+much wall-clock each tier buys on three kernels:
 
-* ``alu_hot``    — long unrolled straight-line runs (block tier's best
-  case: one Python call per 64 instructions);
-* ``branch_hot`` — a tight 7-instruction loop (short runs, fusion still
-  wins but the per-burst loop overhead shows);
+* ``alu_hot``    — long unrolled straight-line runs (the compiled
+  tiers' best case: the jit executes the whole loop body as one
+  generated function, iterating in-place until the burst budget runs
+  out);
+* ``branch_hot`` — a tight 7-instruction loop (short runs; the block
+  tier still pays two dispatches per iteration, the jit pays none);
 * ``cdp_hot``    — custom-instruction dispatch in steady state (fusion
-  never applies across CDP; the win comes from memoized dispatch).
+  never applies across CDP; the win comes from memoized dispatch,
+  which the jit replays inline behind a generation guard).
 
 Record the trajectory with::
 
@@ -25,6 +29,11 @@ import time
 
 from conftest import emit
 
+# The tier compilers are imported lazily by CPU._compile; import them up
+# front so the first measured run does not pay module-import cost.
+import repro.cpu.blocks    # noqa: F401
+import repro.cpu.traces    # noqa: F401
+import repro.cpu.translate  # noqa: F401
 from repro.config import EXEC_TIERS, MachineConfig
 from repro.core.circuit import CircuitSpec, FunctionBehaviour
 from repro.core.coprocessor import ProteusCoprocessor
@@ -105,7 +114,10 @@ loop:
 """
 
 KERNELS = {
-    "alu_hot": (_alu_hot(), False),
+    # ~670k retired instructions: long enough that the compiled tiers'
+    # one-time translate/trace-compile cost (a few ms, paid inside the
+    # timed region) is amortised into the sustained rate.
+    "alu_hot": (_alu_hot(iterations=10000), False),
     "branch_hot": (BRANCH_HOT, False),
     "cdp_hot": (CDP_HOT, True),
 }
@@ -177,14 +189,15 @@ def _render(results: dict[str, dict[str, float]]) -> str:
         "interpreter tiers: instructions per second (higher is better)",
         "",
         f"{'kernel':<12} " + " ".join(f"{t:>12}" for t in EXEC_TIERS)
-        + f" {'blk/clo':>8} {'blk/step':>9}",
+        + f" {'blk/clo':>8} {'jit/clo':>8} {'jit/blk':>8}",
     ]
     for kernel, by_tier in results.items():
         row = f"{kernel:<12} " + " ".join(
             f"{by_tier[t]:>12,.0f}" for t in EXEC_TIERS
         )
         row += f" {by_tier['block'] / by_tier['closure']:>8.2f}"
-        row += f" {by_tier['block'] / by_tier['step']:>9.2f}"
+        row += f" {by_tier['jit'] / by_tier['closure']:>8.2f}"
+        row += f" {by_tier['jit'] / by_tier['block']:>8.2f}"
         lines.append(row)
     return "\n".join(lines)
 
@@ -196,14 +209,24 @@ def test_interpreter_tiers(once):
         kernel: round(by_tier["block"] / by_tier["closure"], 2)
         for kernel, by_tier in results.items()
     }
-    # The tentpole claim: fused superinstructions are >= 2x the closure
-    # tier where fusion applies (straight-line-heavy code) ...
+    jit_speedups = {
+        kernel: round(by_tier["jit"] / by_tier["closure"], 2)
+        for kernel, by_tier in results.items()
+    }
+    # The block-tier claim: fused superinstructions are >= 2x the
+    # closure tier where fusion applies (straight-line-heavy code) ...
     assert speedups["alu_hot"] >= 2.0, speedups
     # ... and never a regression where it cannot (CDP-bound code).
     assert speedups["cdp_hot"] >= 0.9, speedups
-    # Every tier upgrade helps: step <= closure <= block on ALU code.
+    # The jit-tier claim: trace compilation is >= 8x the closure tier on
+    # hot straight-line loops, and never a regression elsewhere.
+    assert jit_speedups["alu_hot"] >= 8.0, jit_speedups
+    assert jit_speedups["cdp_hot"] >= 0.9, jit_speedups
+    # Every tier upgrade helps: step <= closure <= block <= jit on ALU.
     alu = results["alu_hot"]
-    assert alu["step"] <= alu["closure"] <= alu["block"], alu
+    assert (
+        alu["step"] <= alu["closure"] <= alu["block"] <= alu["jit"]
+    ), alu
 
     emit("interpreter", _render(results))
     once.benchmark.extra_info["instructions_per_second"] = {
@@ -211,3 +234,4 @@ def test_interpreter_tiers(once):
         for kernel, by_tier in results.items()
     }
     once.benchmark.extra_info["block_vs_closure_speedup"] = speedups
+    once.benchmark.extra_info["jit_vs_closure_speedup"] = jit_speedups

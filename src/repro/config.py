@@ -43,15 +43,16 @@ PAPER_PFU_CLBS = 500
 PAPER_CYCLES_PER_MS = 100_000
 
 #: CPU execution tiers, fastest first (see :mod:`repro.cpu`):
-#: ``block`` fuses straight-line runs into superinstruction closures,
-#: ``closure`` compiles one closure per instruction, ``step`` is the
-#: readable reference interpreter.  All three are bit-identical.
-EXEC_TIERS = ("block", "closure", "step")
+#: ``jit`` trace-compiles hot paths to generated Python, ``block`` fuses
+#: straight-line runs into superinstruction closures, ``closure``
+#: compiles one closure per instruction, ``step`` is the readable
+#: reference interpreter.  All four are bit-identical.
+EXEC_TIERS = ("jit", "block", "closure", "step")
 
 
 def _default_exec_tier() -> str:
     """Tier default, overridable per run via ``REPRO_EXEC_TIER``."""
-    return os.environ.get("REPRO_EXEC_TIER", "block")
+    return os.environ.get("REPRO_EXEC_TIER", "jit")
 
 
 @dataclass(frozen=True)

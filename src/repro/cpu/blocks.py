@@ -66,6 +66,13 @@ _BINOP_EXPR = {
     Op.BIC: "({a} & ~{b})",
 }
 
+#: Binops whose result is already 32-bit when both operands are: the
+#: register file holds only masked values (every write masks, restore
+#: masks), so the ``& MASK32`` would be a no-op and is elided.  BIC
+#: qualifies because ``a & ~b`` of a non-negative ``a`` never exceeds
+#: ``a``.  ADD/SUB/RSB can overflow or go negative and keep the mask.
+_MASKLESS_BINOPS = frozenset((Op.AND, Op.ORR, Op.EOR, Op.BIC))
+
 #: Generated-parameter name → key in the codegen environment.
 _ENV_NAMES = {
     "_lw": "_LW",
@@ -130,18 +137,30 @@ def fusible_runs(program: list[Instruction]) -> list[tuple[int, int]]:
 # code generation
 
 
+def _list_reg(index: int) -> str:
+    """Default register expression: a register-file subscript."""
+    return f"_r[{index}]"
+
+
 def _emit_instruction(
     index: int,
     instruction: Instruction,
     offset: int,
     config: MachineConfig,
     needs: set[str],
+    reg=_list_reg,
+    fault_extra: list[str] | tuple[str, ...] = (),
 ) -> tuple[list[str], int]:
     """Source lines + cycle cost for one fused instruction.
 
     ``offset`` is the number of block instructions retired before this
     one; memory operations use it to reconstruct the exact mid-block
     fault state the per-instruction closures would leave.
+
+    ``reg`` maps a register number to its source expression — the trace
+    tier (:mod:`repro.cpu.traces`) substitutes Python locals for the
+    register-file subscripts, and supplies ``fault_extra`` (its spill
+    code) to run before a :class:`~repro.errors.MemoryFault` propagates.
     """
     op = instruction.op
     rd, rn, rm, imm = (
@@ -149,18 +168,20 @@ def _emit_instruction(
     )
 
     if op in _BINOP_EXPR:
-        b = str(imm & MASK32) if instruction.uses_imm else f"_r[{rm}]"
-        expr = _BINOP_EXPR[op].format(a=f"_r[{rn}]", b=b)
-        return [f"_r[{rd}] = {expr} & {MASK32}"], config.alu_cycles
+        b = str(imm & MASK32) if instruction.uses_imm else reg(rm)
+        expr = _BINOP_EXPR[op].format(a=reg(rn), b=b)
+        if op in _MASKLESS_BINOPS:
+            return [f"{reg(rd)} = {expr}"], config.alu_cycles
+        return [f"{reg(rd)} = {expr} & {MASK32}"], config.alu_cycles
 
     if op is Op.MOV or op is Op.MVN:
         if instruction.uses_imm:
             value = (~imm if op is Op.MVN else imm) & MASK32
-            line = f"_r[{rd}] = {value}"
+            line = f"{reg(rd)} = {value}"
         elif op is Op.MVN:
-            line = f"_r[{rd}] = ~_r[{rm}] & {MASK32}"
+            line = f"{reg(rd)} = ~{reg(rm)} & {MASK32}"
         else:
-            line = f"_r[{rd}] = _r[{rm}]"
+            line = f"{reg(rd)} = {reg(rm)}"
         return [line], config.alu_cycles
 
     if op in (Op.LSL, Op.LSR, Op.ASR, Op.ROR):
@@ -168,38 +189,38 @@ def _emit_instruction(
             amount = imm & 0xFF
             if op in (Op.LSL, Op.LSR):
                 if amount == 0:
-                    line = f"_r[{rd}] = _r[{rn}] & {MASK32}"
+                    line = f"{reg(rd)} = {reg(rn)}"  # already masked
                 elif amount >= 32:
-                    line = f"_r[{rd}] = 0"
+                    line = f"{reg(rd)} = 0"
                 elif op is Op.LSL:
-                    line = f"_r[{rd}] = (_r[{rn}] << {amount}) & {MASK32}"
+                    line = f"{reg(rd)} = ({reg(rn)} << {amount}) & {MASK32}"
                 else:
-                    line = f"_r[{rd}] = _r[{rn}] >> {amount}"
+                    line = f"{reg(rd)} = {reg(rn)} >> {amount}"
             else:
                 helper = "_asr" if op is Op.ASR else "_ror"
                 needs.add(helper)
-                line = f"_r[{rd}] = {helper}(_r[{rn}], {amount})"
+                line = f"{reg(rd)} = {helper}({reg(rn)}, {amount})"
         else:
             helper = f"_{op.name.lower()}"
             needs.add(helper)
-            line = f"_r[{rd}] = {helper}(_r[{rn}], _r[{rm}] & 255)"
+            line = f"{reg(rd)} = {helper}({reg(rn)}, {reg(rm)} & 255)"
         return [line], config.alu_cycles
 
     if op is Op.MUL:
-        line = f"_r[{rd}] = (_r[{rn}] * _r[{rm}]) & {MASK32}"
+        line = f"{reg(rd)} = ({reg(rn)} * {reg(rm)}) & {MASK32}"
         return [line], config.mul_cycles
 
     if op in (Op.CMP, Op.CMN, Op.TST):
-        b = str(imm & MASK32) if instruction.uses_imm else f"_r[{rm}]"
+        b = str(imm & MASK32) if instruction.uses_imm else reg(rm)
         if op is Op.TST:
             needs.add("_flog")
-            line = f"_flog(_r[{rn}] & {b})"
+            line = f"_flog({reg(rn)} & {b})"
         elif op is Op.CMP:
             needs.add("_fsub")
-            line = f"_fsub(_r[{rn}], {b})"
+            line = f"_fsub({reg(rn)}, {b})"
         else:
             needs.add("_fadd")
-            line = f"_fadd(_r[{rn}], {b})"
+            line = f"_fadd({reg(rn)}, {b})"
         return [line], config.alu_cycles
 
     if op in (Op.LDR, Op.LDRB, Op.STR, Op.STRB):
@@ -211,24 +232,25 @@ def _emit_instruction(
         needs.add(accessor)
         needs.add("_MF")
         if instruction.post_inc or not imm:
-            address = f"_r[{rn}]"
+            address = reg(rn)
         else:
-            address = f"(_r[{rn}] + {imm}) & {MASK32}"
+            address = f"({reg(rn)} + {imm}) & {MASK32}"
         body = [
-            f"_r[{rd}] = {accessor}({address})"
+            f"{reg(rd)} = {accessor}({address})"
             if is_load
-            else f"{accessor}({address}, _r[{rd}])"
+            else f"{accessor}({address}, {reg(rd)})"
         ]
         if instruction.post_inc and imm:
             # Order matters for LDR rd, [rn]+imm with rd == rn: the
             # increment re-reads the register *after* the load wrote it,
             # exactly as the unfused closure does.
-            body.append(f"_r[{rn}] = (_r[{rn}] + {imm}) & {MASK32}")
+            body.append(f"{reg(rn)} = ({reg(rn)} + {imm}) & {MASK32}")
         lines = ["try:"]
         lines += ["    " + line for line in body]
         lines += ["except _MF:", f"    _ctx.idx = {index}"]
         if offset:
             lines.append(f"    _ctx.retired += {offset}")
+        lines += ["    " + line for line in fault_extra]
         lines.append("    raise")
         cycles = config.load_cycles if is_load else config.store_cycles
         return lines, cycles

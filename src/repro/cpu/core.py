@@ -105,7 +105,7 @@ class RunResult:
 class CPU:
     """Interpreter binding one process's state to the shared coprocessor.
 
-    Three execution tiers share the same semantics, selected by
+    Four execution tiers share the same semantics, selected by
     ``MachineConfig.exec_tier``:
 
     * ``"step"`` — the readable reference interpreter (:meth:`step`,
@@ -113,8 +113,10 @@ class CPU:
     * ``"closure"`` — bounded bursts over closure-compiled instructions
       (see :mod:`repro.cpu.translate`), several times faster;
     * ``"block"`` — the closure tier with straight-line runs fused into
-      basic-block superinstructions (see :mod:`repro.cpu.blocks`), the
-      default and fastest tier.
+      basic-block superinstructions (see :mod:`repro.cpu.blocks`);
+    * ``"jit"`` — the block tier plus a trace compiler that turns hot
+      paths into generated straight-line Python (see
+      :mod:`repro.cpu.traces`), the default and fastest tier.
 
     All tiers are cycle- and trace-identical; the equivalence tests in
     ``tests/test_blocks.py`` hold them to that.
@@ -133,10 +135,11 @@ class CPU:
         self.state = state
         self.coprocessor = coprocessor
         self.pid = pid
-        #: Execution tier (see ``MachineConfig.exec_tier``): "block"
-        #: fuses straight-line runs into superinstructions, "closure"
-        #: compiles one closure per instruction, "step" drives the
-        #: reference interpreter.  All three are bit-identical.
+        #: Execution tier (see ``MachineConfig.exec_tier``): "jit"
+        #: trace-compiles hot paths to generated Python, "block" fuses
+        #: straight-line runs into superinstructions, "closure" compiles
+        #: one closure per instruction, "step" drives the reference
+        #: interpreter.  All four are bit-identical.
         self._tier = config.exec_tier
         self._ctx: "translate_module.RunContext | None" = None
         self._ops = None
@@ -174,7 +177,9 @@ class CPU:
     def _compile(self):
         from . import translate as translate_module
 
-        if self._tier == "block":
+        if self._tier == "jit":
+            from .traces import translate_traces as translate_fn
+        elif self._tier == "block":
             from .blocks import translate_blocks as translate_fn
         else:
             translate_fn = translate_module.translate

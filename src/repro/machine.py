@@ -150,12 +150,12 @@ class Machine:
     def exec_tier(self) -> str:
         """The interpreter tier this machine executes on.
 
-        ``"block"`` (fused superinstructions, the default), ``"closure"``
-        (one closure per instruction) or ``"step"`` (the reference
-        interpreter).  Purely a simulator-speed choice — results, traces
-        and checkpoints are identical across tiers.  Set via
-        ``MachineConfig(exec_tier=...)`` or the ``REPRO_EXEC_TIER``
-        environment variable.
+        ``"jit"`` (trace-compiled hot paths, the default), ``"block"``
+        (fused superinstructions), ``"closure"`` (one closure per
+        instruction) or ``"step"`` (the reference interpreter).  Purely
+        a simulator-speed choice — results, traces and checkpoints are
+        identical across tiers.  Set via ``MachineConfig(exec_tier=...)``
+        or the ``REPRO_EXEC_TIER`` environment variable.
         """
         return self.config.exec_tier
 

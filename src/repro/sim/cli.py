@@ -31,6 +31,7 @@ import argparse
 import sys
 import time
 
+from ..errors import ExperimentError
 from ..machine import Machine
 from ..trace.sinks import JsonlSink, RingBufferSink
 from ..trace.timeline import TimelineAggregator
@@ -133,7 +134,12 @@ def _make_runner(args) -> SweepRunner:
     if not args.no_daemon and daemon_available(args.socket):
         # A live daemon owns the worker fleet (and the stores): the
         # sweep becomes one of its tenants instead of forking a pool.
-        scheduler = ServeClient(args.socket)
+        try:
+            scheduler = ServeClient(args.socket)
+        except ExperimentError:
+            # The daemon died between the ping and the connect; fall
+            # back to the in-process pool rather than failing the run.
+            scheduler = None
     return SweepRunner(
         jobs=args.jobs,
         cache=cache,

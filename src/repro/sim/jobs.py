@@ -57,6 +57,7 @@ from .experiment import (
 
 __all__ = [
     "DEFAULT_TENANT",
+    "MIN_PRIORITY",
     "Job",
     "JobState",
     "JobQueue",
@@ -72,6 +73,12 @@ DEFAULT_TENANT = "default"
 #: is not otherwise slicing: timeouts are only enforceable at slice
 #: boundaries, so such jobs must be sliced.
 TIMEOUT_SLICE_QUANTA = 128
+
+#: Lowest priority band a timeout demotion can reach.  Demotion must
+#: bottom out somewhere: without a floor a repeatedly-demoted job sinks
+#: without bound, and a job that times out while already at (or below)
+#: the floor fails cleanly instead of re-emitting ``demoted`` forever.
+MIN_PRIORITY = -8
 
 #: Pool rebuilds tolerated per job before it runs inline in the parent.
 MAX_WORKER_RETRIES = 2
@@ -645,17 +652,27 @@ class Scheduler:
             return False
         job.timed_out = True
         self.stats.timeouts += 1
-        if job.timeout_action == "demote" and job.checkpoint is not None:
+        if (
+            job.timeout_action == "demote"
+            and job.checkpoint is not None
+            and job.priority > MIN_PRIORITY
+        ):
             # Checkpointed and requeued below everything it was racing:
             # it keeps its progress but no longer holds a deadline.
-            job.priority -= 1
+            job.priority = max(MIN_PRIORITY, job.priority - 1)
             job.timeout_s = None
             job._emit("demoted", {"priority": job.priority})
             return False
+        suffix = (
+            " at lowest priority"
+            if job.timeout_action == "demote"
+            and job.priority <= MIN_PRIORITY
+            else ""
+        )
         self._fail(
             job,
             f"timed out after {job.timeout_s}s "
-            f"({job.preemptions} preemptions)",
+            f"({job.preemptions} preemptions){suffix}",
         )
         return True
 

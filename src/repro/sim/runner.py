@@ -204,9 +204,12 @@ class ResultCache:
 
     def _touch_ref(self, key: str) -> None:
         ref = self.ref_path(key)
-        if ref.exists():
-            return
         try:
+            if ref.exists():
+                # Freshen the marker: prune() keeps a shared object
+                # alive while *any* tenant's reference is recent.
+                os.utime(ref)
+                return
             ref.parent.mkdir(parents=True, exist_ok=True)
             ref.touch()
         except OSError:
@@ -277,9 +280,41 @@ class ResultCache:
 
     def prune(self, max_age_s: float, now: float | None = None) -> dict:
         """Drop objects unused for ``max_age_s`` seconds (plus any
-        namespace references left dangling).  Returns removal counts."""
+        namespace references left dangling).  Returns removal counts.
+
+        Objects are shared across tenants, so "unused" means no use by
+        *anyone*: an object survives while its own mtime (touched on
+        every load) or any tenant's reference marker is newer than the
+        cutoff.  Pruning by object mtime alone would let one tenant's
+        idleness delete an entry another tenant still hits.
+        """
         cutoff = (now if now is not None else time.time()) - max_age_s
-        removed, kept = _prune_tree(self.root / "objects", ".pkl", cutoff)
+        newest_ref: dict[str, float] = {}
+        for ns in self.namespaces():
+            for ref in (self.root / "ns" / ns).glob("*.ref"):
+                try:
+                    mtime = ref.stat().st_mtime
+                except OSError:
+                    continue
+                key = ref.stem
+                if mtime > newest_ref.get(key, 0.0):
+                    newest_ref[key] = mtime
+        removed = 0
+        kept = 0
+        objects = self.root / "objects"
+        if objects.is_dir():
+            for path in objects.rglob("*.pkl"):
+                try:
+                    last_used = max(
+                        path.stat().st_mtime, newest_ref.get(path.stem, 0.0)
+                    )
+                    if last_used < cutoff:
+                        os.unlink(path)
+                        removed += 1
+                    else:
+                        kept += 1
+                except OSError:
+                    continue
         dangling = 0
         for ns in self.namespaces():
             for ref in (self.root / "ns" / ns).glob("*.ref"):

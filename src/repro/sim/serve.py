@@ -82,7 +82,14 @@ def default_socket_path() -> Path:
 
 def daemon_available(socket_path: Path | str | None = None,
                      timeout: float = 0.5) -> bool:
-    """True when a live daemon answers a ping on the socket."""
+    """True when a live daemon answers a ping on the socket.
+
+    A socket file with nobody listening behind it (the daemon was
+    killed before it could ``unlink``) is treated as "no daemon": the
+    dead file is removed so later runs — and a future ``repro serve``
+    binding the same path — start clean instead of surfacing
+    ``ConnectionRefusedError`` to ``repro fig2``/``inject`` users.
+    """
     path = Path(socket_path) if socket_path else default_socket_path()
     if not path.exists():
         return False
@@ -99,6 +106,15 @@ def daemon_available(socket_path: Path | str | None = None,
                 data += chunk
         reply = json.loads(data.splitlines()[0])
         return bool(reply.get("ok")) and bool(reply.get("pong"))
+    except ConnectionError:
+        # Stale socket: the file exists but nothing accepts on it.
+        # Best-effort cleanup; racing with a daemon that is just now
+        # rebinding the path only costs that daemon a restart.
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return False
     except (OSError, ValueError):
         return False
 

@@ -1,11 +1,11 @@
-"""The ``block`` execution tier: partitioning, three-way tier
-equivalence, memoized CDP dispatch invalidation, and cross-tier
-checkpoints.
+"""The compiled execution tiers: partitioning, four-way tier
+equivalence, memoized CDP dispatch invalidation, trace compilation and
+eviction, and cross-tier checkpoints.
 
-The contract under test is strong: ``block``, ``closure`` and ``step``
-are *bit-identical* — same cycles, same retired counts, same events,
-same trace counters, same final memory — on every program and every
-burst schedule.
+The contract under test is strong: ``jit``, ``block``, ``closure`` and
+``step`` are *bit-identical* — same cycles, same retired counts, same
+events, same trace counters, same final memory — on every program and
+every burst schedule, including under an active fault plan.
 """
 
 import json
@@ -24,11 +24,15 @@ from repro.cpu.core import CPU, CPUState
 from repro.cpu.isa import CODE_BASE, Instruction, Op, code_address
 from repro.cpu.memory import Memory
 from repro.errors import MemoryFault
+from repro.faults import FaultPlan
 from repro.machine import Machine
 from repro.sim.experiment import ExperimentSpec, run_experiment
 
 CONFIG = MachineConfig(cycles_per_ms=1000)
 SCALE = 1 / 8000
+
+#: Every tier that must match the ``step`` reference bit-for-bit.
+COMPILED_TIERS = tuple(t for t in EXEC_TIERS if t != "step")
 
 
 def make_cpu(
@@ -101,7 +105,7 @@ def run_tiers(source: str, budgets, **kwargs) -> None:
         log = burst_log(cpu, budgets)
         results[tier] = (log, tier_state(cpu))
     reference = results["step"]
-    for tier in ("block", "closure"):
+    for tier in COMPILED_TIERS:
         assert results[tier][0] == reference[0], tier
         assert results[tier][1] == reference[1], tier
     return results
@@ -225,7 +229,7 @@ class TestPartitioning:
 
 
 # ---------------------------------------------------------------------------
-# three-way equivalence
+# four-way equivalence
 
 
 class TestTierEquivalence:
@@ -288,8 +292,8 @@ class TestTierEquivalence:
             with pytest.raises(MemoryFault):
                 cpu.run(1 << 20)
             states[tier] = (cpu.state.pc, tier_state(cpu))
-        assert states["block"] == states["step"]
-        assert states["closure"] == states["step"]
+        for tier in COMPILED_TIERS:
+            assert states[tier] == states["step"], tier
         # The fault left the pc on the faulting STR (index 4).
         assert states["step"][0] == CODE_BASE + 4 * 4
         assert states["step"][1]["retired"] == 4
@@ -421,7 +425,7 @@ class TestDispatchMemoization:
             STO r0
             BX lr
         """
-        for tier in ("block", "closure"):
+        for tier in COMPILED_TIERS:
             cpu = make_cpu(source, tier, with_circuit=True)
             dispatch = cpu.coprocessor.dispatch
             soft_address = assemble(source).label_address("soft")
@@ -476,7 +480,15 @@ class TestDispatchMemoization:
 class TestCrossTierSnapshots:
     @pytest.mark.parametrize(
         "first,second",
-        [("block", "closure"), ("closure", "block"), ("block", "step")],
+        [
+            ("block", "closure"),
+            ("closure", "block"),
+            ("block", "step"),
+            ("jit", "block"),
+            ("block", "jit"),
+            ("jit", "step"),
+            ("closure", "jit"),
+        ],
     )
     def test_snapshot_round_trip_switches_tier(self, first, second):
         reference = make_cpu(FIBONACCI, "step")
@@ -493,6 +505,92 @@ class TestCrossTierSnapshots:
         full = burst_log(make_cpu(FIBONACCI, first), [17] * 300)
         assert partial + resumed == full
         assert tier_state(cpu_b) == tier_state(reference)
+
+
+# ---------------------------------------------------------------------------
+# trace compilation and generation-counter eviction (jit tier)
+
+
+REMAP_LOOP = """
+main:
+    MOV r0, #7
+    MOV r1, #5
+    MCR f0, r0
+    MCR f1, r1
+    MOV r3, #12
+    MOV r5, #0
+loop:
+    CDP #1, f2, f0, f1
+    MRC r2, f2
+    ADD r5, r5, r2
+    SUB r3, r3, #1
+    CMP r3, #0
+    BNE loop
+    MOV r0, #0
+    HALT
+soft:
+    LDO r0, #0
+    LDO r1, #1
+    MUL r0, r0, r1
+    STO r0
+    BX lr
+"""
+
+
+class TestTraceCompiler:
+    def test_hot_loop_compiles_trace(self):
+        """The fibonacci loop crosses HOT_THRESHOLD in one burst, gets a
+        compiled trace, and still matches the step reference exactly."""
+        reference = make_cpu(FIBONACCI, "step")
+        burst_log(reference, [1 << 20])
+
+        cpu = make_cpu(FIBONACCI, "jit")
+        burst_log(cpu, [1 << 20])
+        manager = cpu._ops.manager
+        assert manager.compiled >= 1
+        assert manager.invalidations == 0
+        assert tier_state(cpu) == tier_state(reference)
+
+    def test_cold_code_never_compiles(self):
+        """Straight-line code entered fewer than HOT_THRESHOLD times
+        stays on the block tier (no trace, no profiling residue)."""
+        cpu = make_cpu(MIXED, "jit")
+        burst_log(cpu, [1 << 20])
+        assert cpu._ops.manager.compiled == 0
+
+    def test_remap_evicts_hot_trace(self):
+        """A hardware->software remap mid-run bumps the dispatch
+        generation; the hot CDP trace's embedded guard must evict the
+        stale trace (which memoized the *hardware* resolution) instead
+        of replaying 7 + 5 where 7 * 5 is now expected.  All four tiers
+        agree on the final state either way."""
+        soft_address = assemble(REMAP_LOOP).label_address("soft")
+        states = {}
+        managers = {}
+        for tier in EXEC_TIERS:
+            cpu = make_cpu(REMAP_LOOP, tier, with_circuit=True)
+            # Phase 1 (hardware adder): enough budget for the loop head
+            # to cross HOT_THRESHOLD, not enough to finish the loop.
+            cpu.run(100)
+            assert not cpu.state.halted
+            if tier == "jit":
+                managers[tier] = cpu._ops.manager
+                assert managers[tier].compiled >= 1
+                assert managers[tier].invalidations == 0
+            cpu.coprocessor.dispatch.map_software(IDTuple(1, 1),
+                                                  soft_address)
+            while not cpu.state.halted:
+                cpu.run(1 << 20)
+            states[tier] = tier_state(cpu)
+        # The stale trace was evicted, not silently reused ...
+        assert managers["jit"].invalidations >= 1
+        # ... and every tier saw the same phase split and results.
+        for tier in COMPILED_TIERS:
+            assert states[tier] == states["step"], tier
+        counts = states["step"]["dispatch_counts"]
+        hw, soft = counts["hit"], counts["soft"]
+        assert hw >= 4 and soft >= 1 and hw + soft == 12
+        assert states["step"]["regs"][5] == 12 * hw + 35 * soft
 
 
 # ---------------------------------------------------------------------------
@@ -525,8 +623,8 @@ class TestMachineTierEquivalence:
             spec = tier_spec(workload)
             assert spec.build_config().exec_tier == tier
             results[tier] = outcome_fields(run_experiment(spec, verify=True))
-        assert results["block"] == results["step"]
-        assert results["closure"] == results["step"]
+        for tier in COMPILED_TIERS:
+            assert results[tier] == results["step"], tier
 
     @pytest.mark.parametrize("architecture", ["proteus", "prisc", "memmap"])
     def test_architectures_identical_across_tiers(self, architecture,
@@ -539,8 +637,35 @@ class TestMachineTierEquivalence:
             monkeypatch.setenv("REPRO_EXEC_TIER", tier)
             spec = tier_spec("alpha", architecture=architecture)
             results[tier] = outcome_fields(run_experiment(spec, verify=True))
-        assert results["block"] == results["step"]
-        assert results["closure"] == results["step"]
+        for tier in COMPILED_TIERS:
+            assert results[tier] == results["step"], tier
+
+    def test_fault_campaign_identical_across_tiers(self, monkeypatch):
+        """The bit-identical contract holds under an active fault plan:
+        injection draws, detections, recoveries and kill decisions land
+        on the same quanta in every tier.  (Under a plan the jit refuses
+        to trace CDP sites — a FabricFault mid-trace would discard
+        committed cycles — but ALU loops still compile.)"""
+        plan = FaultPlan(
+            seed=9,
+            config_upset_rate=0.05,
+            datapath_error_rate=0.05,
+            transfer_error_rate=0.1,
+            state_upset_rate=0.1,
+            scrub_interval_quanta=8,
+        )
+        results = {}
+        for tier in EXEC_TIERS:
+            monkeypatch.setenv("REPRO_EXEC_TIER", tier)
+            spec = tier_spec("alpha", instances=3, quantum_ms=1.0,
+                             seed=2, fault_plan=plan)
+            outcome = run_experiment(spec)
+            results[tier] = (outcome_fields(outcome), outcome.faults)
+        # The campaign actually exercised the injector ...
+        assert sum(results["step"][1]["injected"].values()) > 0
+        # ... and every tier reproduced it event-for-event.
+        for tier in COMPILED_TIERS:
+            assert results[tier] == results["step"], tier
 
     def test_spec_key_ignores_exec_tier(self, monkeypatch):
         keys = set()
@@ -550,7 +675,14 @@ class TestMachineTierEquivalence:
         assert len(keys) == 1
 
     @pytest.mark.parametrize(
-        "first,second", [("block", "closure"), ("closure", "block")]
+        "first,second",
+        [
+            ("block", "closure"),
+            ("closure", "block"),
+            ("jit", "block"),
+            ("block", "jit"),
+            ("jit", "closure"),
+        ],
     )
     def test_mid_run_checkpoint_crosses_tiers(self, first, second,
                                               monkeypatch):

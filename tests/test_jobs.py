@@ -8,6 +8,7 @@ import pytest
 from repro.errors import ExperimentError
 from repro.sim.experiment import ExperimentSpec, run_experiment
 from repro.sim.jobs import (
+    MIN_PRIORITY,
     Job,
     JobQueue,
     JobState,
@@ -213,6 +214,36 @@ class TestTimeouts:
     def test_invalid_timeout_action_rejected(self):
         with pytest.raises(ExperimentError):
             Job(1, spec(), timeout_action="explode")
+
+    def test_demote_clamps_at_priority_floor(self):
+        """One band above the floor, a demotion lands exactly on
+        MIN_PRIORITY — never below it — and the job still finishes."""
+        point = spec(instances=2)
+        reference = run_experiment(point, verify=False)
+        with Scheduler(workers=0, slice_quanta=256) as scheduler:
+            job = scheduler.submit(
+                point, priority=MIN_PRIORITY + 1, timeout_s=0.0,
+                timeout_action="demote",
+            )
+            assert job.result() == reference
+            assert job.timed_out
+            assert job.priority == MIN_PRIORITY
+
+    def test_demote_at_floor_fails_cleanly(self):
+        """A timed-out job already at the lowest band has nowhere to
+        sink: ``demote`` must fail the job (saying why) instead of
+        looping priority underflow / ``demoted`` events forever."""
+        with Scheduler(workers=0, slice_quanta=256) as scheduler:
+            job = scheduler.submit(
+                spec(instances=2), priority=MIN_PRIORITY, timeout_s=0.0,
+                timeout_action="demote",
+            )
+            assert job.state is JobState.FAILED
+            assert job.timed_out
+            assert job.priority == MIN_PRIORITY  # no underflow
+            assert scheduler.stats.timeouts == 1
+            with pytest.raises(ExperimentError, match="lowest priority"):
+                job.result()
 
 
 class TestPriorities:

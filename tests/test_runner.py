@@ -323,15 +323,47 @@ class TestTenantNamespaces:
         cache = ResultCache(tmp_path)
         point = spec()
         SweepRunner(cache=cache).run([point])
-        path = cache.path(cache.key(point, verify=False))
+        key = cache.key(point, verify=False)
+        path = cache.path(key)
         old = time.time() - 10 * 86400
+        # Both the object and its namespace ref must age out: a fresh
+        # ref (anyone's) pins the object.
         os.utime(path, (old, old))
+        os.utime(cache.ref_path(key), (old, old))
         report = cache.prune(max_age_s=86400)
         assert report["removed"] == 1 and report["kept"] == 0
         assert not path.exists()
         assert report["dangling_refs"] == 1  # ref followed its object
         assert cache.load(point, verify=False) is None
         assert cache.evictions == 0  # pruning is not corruption
+
+    def test_prune_respects_other_tenants_refs(self, tmp_path):
+        """An object is only as unused as its *newest* reference: one
+        tenant going idle must never prune a shared object another
+        tenant's namespace still points at."""
+        alice = ResultCache(tmp_path, namespace="alice")
+        point = spec()
+        (outcome,) = SweepRunner(cache=alice).run([point])
+        bob = alice.for_namespace("bob")
+        assert bob.load(point, verify=False) == outcome  # bob's ref is fresh
+
+        key = alice.key(point, verify=False)
+        obj = alice.path(key)
+        old = time.time() - 10 * 86400
+        os.utime(obj, (old, old))                  # object looks idle ...
+        os.utime(alice.ref_path(key), (old, old))  # ... and alice moved on
+        report = alice.prune(max_age_s=86400)
+        assert report == {"removed": 0, "kept": 1, "dangling_refs": 0}
+        assert bob.load(point, verify=False) == outcome  # bob still hits
+
+        # Once every namespace's ref has aged out the object goes, and
+        # the now-dangling refs are cleaned up with it.
+        os.utime(obj, (old, old))  # bob's hit re-freshened it above
+        os.utime(alice.ref_path(key), (old, old))
+        os.utime(bob.ref_path(key), (old, old))
+        report = alice.prune(max_age_s=86400)
+        assert report == {"removed": 1, "kept": 0, "dangling_refs": 2}
+        assert bob.load(point, verify=False) is None
 
     def test_prune_keeps_fresh_entries(self, tmp_path):
         cache = ResultCache(tmp_path)

@@ -7,8 +7,10 @@ concurrent tenants share cache hits, and a job preempted mid-run on one
 worker resumes bit-identically on another.
 """
 
+import argparse
 import os
 import signal
+import socket
 import subprocess
 import sys
 import threading
@@ -76,6 +78,37 @@ class TestProtocol:
             reply = client.stats()
             assert reply["stats"]["submitted"] == 1
             assert reply["stats"]["executed"] == 1
+
+    def test_stale_socket_is_no_daemon(self, tmp_path):
+        """A socket file with nobody listening (the daemon was killed
+        before it could unlink) reads as "no daemon" — and the dead
+        file is removed so the next binder starts clean."""
+        stale = tmp_path / "stale.sock"
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+            sock.bind(str(stale))
+        # closing without listen/accept leaves the path behind, exactly
+        # like a SIGKILLed daemon
+        assert stale.exists()
+        assert not daemon_available(stale)
+        assert not stale.exists()
+
+    def test_stale_socket_falls_back_in_process(self, tmp_path):
+        """Auto-routing must not hand a dead socket to ServeClient: the
+        sweep runs on the in-process pool instead of crashing with
+        ConnectionRefusedError."""
+        from repro.sim.cli import _make_runner
+
+        stale = tmp_path / "stale.sock"
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+            sock.bind(str(stale))
+        args = argparse.Namespace(
+            no_cache=True, warm_start=False, no_daemon=False,
+            socket=stale, jobs=1, tenant="alice", priority=0,
+        )
+        runner = _make_runner(args)
+        assert runner.scheduler is None  # in-process pool, not a client
+        (outcome,) = runner.run([spec()])
+        assert outcome == run_experiment(spec(), verify=False)
 
 
 class TestRemoteExecution:
