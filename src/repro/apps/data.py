@@ -49,6 +49,12 @@ def synthetic_audio(samples: int, seed: int = 0, amplitude: int = 12000) -> list
     return out
 
 
+def synthetic_words(count: int, seed: int = 0) -> list[int]:
+    """``count`` full-range 32-bit words of deterministic random data."""
+    rng = random.Random(("words", seed).__repr__())
+    return [rng.getrandbits(32) for _ in range(count)]
+
+
 def synthetic_plaintext(blocks: int, seed: int = 0) -> bytes:
     """``blocks`` 16-byte plaintext blocks of deterministic random data."""
     rng = random.Random(("plaintext", seed).__repr__())

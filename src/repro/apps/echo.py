@@ -24,8 +24,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..core.circuit import CircuitSpec, FunctionBehaviour
+from ..core.circuit import CircuitSpec
 from ..cpu.program import Program
+from ..fabric.elements import ElementGraph
 from .data import synthetic_audio, words_to_bytes, words_to_directive
 from .workloads import Workload, WorkloadVariant, memory_size_for
 
@@ -118,11 +119,56 @@ class EchoModel:
         return out
 
 
+def _comb_graph() -> ElementGraph:
+    """Four parallel MACs, an accumulate tree, and the tap-history shift."""
+    g = ElementGraph("echo_comb")
+    x, d = g.input_a(), g.input_b()
+    taps = [g.apply("sgn", w) for w in (d, g.state(4), g.state(5), g.state(6))]
+    acc = None
+    for gain_index, tap in enumerate(taps):
+        product = g.apply("mul", g.state(gain_index), tap)
+        acc = product if acc is None else g.apply("add", acc, product)
+    assert acc is not None
+    feedback = g.apply("shr", g.apply("sgn", g.apply("wrap", acc)), g.const(15))
+    t = g.apply("sat16", g.apply("add", g.apply("sgn", x), feedback))
+    g.set_state(4, t)
+    g.set_state(5, g.state(4))
+    g.set_state(6, g.state(5))
+    g.set_output(t)
+    return g
+
+
+def _mix_graph() -> ElementGraph:
+    """Wet/dry MACs, the soft-knee fold, and the output saturator."""
+    g = ElementGraph("echo_mix")
+    t, x = g.input_a(), g.input_b()
+    mixed = g.apply(
+        "add",
+        g.apply("mul", g.state(0), g.apply("sgn", t)),
+        g.apply("mul", g.state(1), g.apply("sgn", x)),
+    )
+    v = g.apply("shr", g.apply("sgn", g.apply("wrap", mixed)), g.const(15))
+    knee, neg_knee, two = g.const(KNEE), g.const(-KNEE), g.const(2)
+    above = g.apply("add", knee, g.apply("shr", g.apply("sub", v, knee), two))
+    below = g.apply(
+        "add", neg_knee, g.apply("shr", g.apply("add", v, knee), two)
+    )
+    folded = g.apply(
+        "mux",
+        g.apply("gt", v, knee),
+        above,
+        g.apply("mux", g.apply("lt", v, neg_knee), below, v),
+    )
+    g.set_output(g.apply("sat16", folded))
+    return g
+
+
 def make_comb_circuit(gains: tuple[int, int, int, int] = DEFAULT_GAINS) -> CircuitSpec:
-    return CircuitSpec(
-        name="echo_comb",
-        behaviour=FunctionBehaviour(fn=comb_step, fixed_latency=COMB_LATENCY),
+    return CircuitSpec.compose(
+        "echo_comb",
+        _comb_graph(),
         clb_count=ECHO_COMB_CLBS,
+        latency=COMB_LATENCY,
         app_state_words=7,
         initial_state=tuple(gains) + (0, 0, 0),
         promotable=False,
@@ -130,10 +176,11 @@ def make_comb_circuit(gains: tuple[int, int, int, int] = DEFAULT_GAINS) -> Circu
 
 
 def make_mix_circuit(wet: int = DEFAULT_WET, dry: int = DEFAULT_DRY) -> CircuitSpec:
-    return CircuitSpec(
-        name="echo_mix",
-        behaviour=FunctionBehaviour(fn=mix_step, fixed_latency=MIX_LATENCY),
+    return CircuitSpec.compose(
+        "echo_mix",
+        _mix_graph(),
         clb_count=ECHO_MIX_CLBS,
+        latency=MIX_LATENCY,
         app_state_words=2,
         initial_state=(wet, dry),
     )

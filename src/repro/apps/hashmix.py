@@ -1,0 +1,111 @@
+"""A data-mixing hash kernel — the synthesiser's demonstration workload.
+
+Unlike the three paper applications, this program ships *no* hand-written
+circuit: its inner loop is a straight run of multiplies and XORs over a
+running accumulator.  That makes it the natural subject for the §6
+"final system" idea — the OS profiles the loop, mines the six-instruction
+mixing window (two live-in registers, one live-out, two dead scratch
+registers), synthesises a circuit from the FU element library, and
+rewrites the loop to dispatch through it mid-run.
+
+Both workload variants build the same pure-software image; acceleration
+only ever arrives through synthesis.
+"""
+
+from __future__ import annotations
+
+from ..cpu.program import Program
+from .data import synthetic_words, words_to_bytes, words_to_directive
+from .workloads import Workload, WorkloadVariant, memory_size_for
+
+MASK32 = 0xFFFFFFFF
+
+
+def hash_mix(value: int, acc: int) -> int:
+    """One round of the mixing function (the mined window's semantics)."""
+    t2 = (value * value) & MASK32
+    t2 ^= acc
+    t3 = (t2 * t2) & MASK32
+    t2 = (t2 + t3) & MASK32
+    t3 = (t2 * value) & MASK32
+    return t2 ^ t3
+
+
+def _source(items: int, words: list[int]) -> str:
+    return f"""\
+; chained data-mixing hash (no hand-written circuit: synthesis target)
+.equ N, {items}
+.text
+main:
+    MOV  r4, #src
+    MOV  r6, #dst
+    MOV  r7, #N
+    MOV  r0, #0            ; accumulator
+loop:
+    LDR  r1, [r4], #4
+    MUL  r2, r1, r1        ; the six instructions from here to the EOR
+    EOR  r2, r2, r0        ; below are the minable window: live-in
+    MUL  r3, r2, r2        ; {{r0, r1}}, live-out {{r0}}, r2/r3 dead
+    ADD  r2, r2, r3        ; at the STR
+    MUL  r3, r2, r1
+    EOR  r0, r2, r3
+    STR  r0, [r6], #4
+    SUB  r7, r7, #1
+    CMP  r7, #0
+    BNE  loop
+    MOV  r0, #0
+    SWI  #0                ; exit
+.data
+src:
+{words_to_directive(words)}
+dst:
+    .space {4 * items}
+"""
+
+
+def build_hash_program(
+    items: int,
+    seed: int = 0,
+    variant: WorkloadVariant = WorkloadVariant.ACCELERATED,
+    register_soft: bool = True,
+) -> Program:
+    """Build one hash process image.
+
+    ``variant`` and ``register_soft`` are accepted for interface
+    compatibility but ignored: with no hand-written circuit the
+    accelerated and software images are the same program.
+    """
+    words = synthetic_words(items, seed=seed)
+    data_bytes = 4 * (2 * items)
+    return Program.from_source(
+        name=f"hash[{items}]",
+        source=_source(items, words),
+        circuit_table=[],
+        memory_size=memory_size_for(data_bytes),
+        result_labels={"dst": 4 * items},
+    )
+
+
+def hash_reference(items: int, seed: int = 0) -> bytes:
+    """Expected ``dst`` contents for a run over ``items`` words."""
+    acc = 0
+    out = []
+    for value in synthetic_words(items, seed=seed):
+        acc = hash_mix(value, acc)
+        out.append(acc)
+    return words_to_bytes(out)
+
+
+#: Paper-scale item count: ~1.3e8 cycles at ~25 cycles/word.
+PAPER_WORDS = 5_200_000
+
+
+def make_hash_workload() -> Workload:
+    return Workload(
+        name="hash",
+        circuits_per_process=0,
+        paper_items=PAPER_WORDS,
+        min_items=4,
+        builder=build_hash_program,
+        reference=hash_reference,
+    )

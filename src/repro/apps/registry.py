@@ -1,26 +1,30 @@
-"""Registry of the paper's evaluation workloads."""
+"""Registry of the evaluation workloads."""
 
 from __future__ import annotations
 
 from ..errors import WorkloadError
 from .alphablend import make_alpha_workload
 from .echo import make_echo_workload
+from .hashmix import make_hash_workload
 from .twofish import make_twofish_workload
 from .workloads import Workload
 
-#: The three applications of §5.1, keyed by their figure-legend names.
+#: The three applications of §5.1 plus the circuit-free hash kernel used
+#: by the synthesis experiments, keyed by their figure-legend names.
 WORKLOADS: dict[str, Workload] = {
     workload.name: workload
     for workload in (
         make_echo_workload(),
         make_alpha_workload(),
         make_twofish_workload(),
+        make_hash_workload(),
     )
 }
 
 
 def get_workload(name: str) -> Workload:
-    """Look up a workload by name (``echo``, ``alpha``, ``twofish``)."""
+    """Look up a workload by name (``echo``, ``alpha``, ``twofish``,
+    ``hash``)."""
     try:
         return WORKLOADS[name]
     except KeyError:

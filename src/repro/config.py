@@ -28,6 +28,7 @@ from typing import Any
 
 from .errors import ConfigurationError
 from .faults import FaultPlan
+from .synth.plan import SynthesisPlan
 
 #: Configuration bytes for a full 500-CLB PFU static image (paper, §4.1).
 PAPER_CONFIG_BYTES = 54 * 1024
@@ -156,6 +157,12 @@ class MachineConfig:
     #: default — builds no injector at all: the machine is bit-identical
     #: to a build that predates fault injection.
     fault_plan: FaultPlan | None = None
+
+    #: Custom-instruction synthesis plan (see :mod:`repro.synth`).
+    #: ``None`` — the default — disables the synthesiser entirely: spec
+    #: keys, checkpoints and figures are byte-identical to a build that
+    #: predates synthesis.
+    synthesis: SynthesisPlan | None = None
 
     # ---- simulator implementation knobs ----------------------------------
     #: CPU interpreter tier (``block`` | ``closure`` | ``step``).  Purely a

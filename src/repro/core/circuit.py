@@ -119,6 +119,46 @@ class CircuitSpec:
             bitstream=self.build_bitstream(config, seed=seed),
         )
 
+    @classmethod
+    def compose(
+        cls,
+        name: str,
+        graph,
+        *,
+        clb_count: int | None = None,
+        latency=None,
+        app_state_words: int = 0,
+        initial_state: tuple[int, ...] = (),
+        promotable: bool = True,
+    ) -> "CircuitSpec":
+        """Build a spec from an FU element graph (or phase machine).
+
+        ``graph`` is an :class:`~repro.fabric.elements.ElementGraph` or
+        :class:`~repro.fabric.elements.PhaseMachine`; its behaviour is
+        compiled from the element menu and its CLB count and latency
+        default to the library's cost-model estimates.  Pass explicit
+        ``clb_count``/``latency`` to record a hand floorplan — apps that
+        pipeline or share resources beyond what the estimator assumes
+        override both, which keeps their bitstreams (a pure function of
+        name, CLBs and state words) byte-identical to the hand-written
+        originals.
+        """
+        if graph.max_state_index() >= app_state_words:
+            raise PFUError(
+                f"{name}: graph touches state word "
+                f"{graph.max_state_index()}, only {app_state_words} declared"
+            )
+        return cls(
+            name=name,
+            behaviour=graph.as_behaviour(latency),
+            clb_count=(
+                clb_count if clb_count is not None else graph.clb_estimate()
+            ),
+            app_state_words=app_state_words,
+            initial_state=initial_state,
+            promotable=promotable,
+        )
+
 
 @dataclass
 class CircuitInstance:
@@ -216,12 +256,20 @@ class CircuitInstance:
                 f"{self.spec.state_words} words, got {len(words)}"
             )
         split = self.spec.app_state_words
-        self.state = list(words[:split])
+        # A state section may come off a fault-corrupted snapshot: clamp
+        # every word to the 32 bits a CLB register can actually hold, and
+        # refuse a negative completed-cycle count outright — otherwise
+        # out-of-range values flow straight into compute()/advance().
+        self.state = [word & MASK32 for word in words[:split]]
         busy_flag, cycles_done, latched_a, latched_b = words[split:split + 4]
+        if cycles_done < 0:
+            raise PFUError(
+                f"{self.spec.name}: negative cycles_done in state section"
+            )
         self.busy = bool(busy_flag)
-        self.cycles_done = cycles_done
-        self.latched_a = latched_a
-        self.latched_b = latched_b
+        self.cycles_done = cycles_done & MASK32
+        self.latched_a = latched_a & MASK32
+        self.latched_b = latched_b & MASK32
 
     def snapshot(self) -> StateSnapshot:
         """Serialise the full CLB-register state for off-array storage."""

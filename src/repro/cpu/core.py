@@ -173,6 +173,18 @@ class CPU:
         # A not-yet-compiled CPU stays lazy: the next run() compiles
         # against the (already restored) architectural state.
 
+    def retarget(self, program: list[Instruction]) -> None:
+        """Swap the instruction image (custom-instruction adoption).
+
+        Drops any compiled tier state; the next :meth:`run` recompiles
+        against the new image.  Safe between bursts because compilation
+        reads the live register list, flags and memory, and ``run``
+        reloads its cursor from the architectural PC on entry.
+        """
+        self.program = program
+        self._ctx = None
+        self._ops = None
+
     # ------------------------------------------------------------------
     def _compile(self):
         from . import translate as translate_module

@@ -83,6 +83,10 @@ class ProcessKilled(KernelError):
         super().__init__(f"process {pid} killed: {reason}")
 
 
+class SynthesisError(ReproError):
+    """The custom-instruction synthesiser was misconfigured or misused."""
+
+
 class WorkloadError(ReproError):
     """A workload/application was constructed with invalid parameters."""
 

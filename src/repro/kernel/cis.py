@@ -91,11 +91,48 @@ class CustomInstructionScheduler:
         kills the process, as would loading hostile configuration data.
         """
         spec = process.program.circuit(table_index)
+        cycles = self.config.syscall_cycles + self.config.cis_decision_cycles
+        return self._register_spec(
+            process, cid, spec, soft_address,
+            table_index=table_index, cycles=cycles, synth=None,
+        )
+
+    def register_spec(
+        self,
+        process: Process,
+        cid: int,
+        spec,
+        soft_address: int | None,
+        synth: dict,
+    ) -> int:
+        """Register a kernel-synthesised instruction; returns cycles.
+
+        Same pipeline as :meth:`register` — instantiate, validate
+        against the security policy, charge, record — but there is no
+        syscall context (the kernel initiates this itself) and no
+        circuit-table entry: ``synth`` carries the window descriptor a
+        checkpoint needs to re-derive the spec.
+        """
+        return self._register_spec(
+            process, cid, spec, soft_address,
+            table_index=None, cycles=self.config.cis_decision_cycles,
+            synth=synth,
+        )
+
+    def _register_spec(
+        self,
+        process: Process,
+        cid: int,
+        spec,
+        soft_address: int | None,
+        table_index: int | None,
+        cycles: int,
+        synth: dict | None,
+    ) -> int:
         instance = spec.instantiate(
             pid=process.pid, config=self.config, seed=self.config.seed
         )
         report = validate_bitstream(instance.bitstream, self.security)
-        cycles = self.config.syscall_cycles + self.config.cis_decision_cycles
         self.trace.cis_charge(cycles)
         if not report.ok:
             self.trace.registration_rejected(process.pid, cid)
@@ -105,6 +142,7 @@ class CustomInstructionScheduler:
             instance=instance,
             soft_address=soft_address if soft_address else None,
             table_index=table_index,
+            synth=synth,
         )
         process.register(registration)
         self.trace.registered(process.pid, cid)

@@ -76,6 +76,10 @@ class Porsche:
         self.stats = self.trace.counters.kernel
         self._next_pid = 1
         self._last_running: Process | None = None
+        #: PIDs the synthesiser has already decided about.  A pure
+        #: wall-clock memo: the decision itself is re-derivable from
+        #: architectural state, so this set is not checkpointed.
+        self._synth_done: set[int] = set()
 
     # ------------------------------------------------------------------
     # process lifecycle
@@ -140,6 +144,10 @@ class Porsche:
             budget = min(budget, max(1, budget_cap))
         if self.injector is not None:
             budget -= self._fault_tick(process)
+            if budget <= 0:
+                budget = 1
+        if self.config.synthesis is not None:
+            budget -= self._synth_tick(process)
             if budget <= 0:
                 budget = 1
         while budget > 0 and process.alive:
@@ -296,6 +304,65 @@ class Porsche:
         self._charge_kernel(process, cycles)
         return cycles
 
+    # ------------------------------------------------------------------
+    # custom-instruction synthesis (see repro.synth)
+    # ------------------------------------------------------------------
+    def _synth_tick(self, process: Process) -> int:
+        """Quantum-boundary synthesis check; returns cycles charged.
+
+        The trigger (retired-instruction count) and the mining pass are
+        pure functions of architectural state and the machine config, so
+        every execution tier, worker and resumed checkpoint adopts the
+        same circuit at the same quantum.  Cycles are charged only when
+        an adoption actually lands — the no-candidate and deferred cases
+        are free, which keeps a resume (whose ``_synth_done`` memo is
+        empty) from double-charging decisions the original run already
+        made.
+        """
+        plan = self.config.synthesis
+        if process.pid in self._synth_done:
+            return 0
+        if any(
+            reg.synth is not None for reg in process.registrations.values()
+        ):
+            # Restored from a checkpoint taken after adoption.
+            self._synth_done.add(process.pid)
+            return 0
+        state = process.cpu_state
+        if state.instructions_retired < plan.trigger_instructions:
+            return 0
+        from ..cpu.isa import code_index
+        from ..synth.adopt import synthesise
+
+        adoptions, rewritten = synthesise(
+            process.base_program or process.program, self.config
+        )
+        if not adoptions:
+            self._synth_done.add(process.pid)
+            return 0
+        index = code_index(state.pc)
+        if any(a.start < index < a.end for a in adoptions):
+            # The timer parked the PC mid-window; rewriting now would
+            # pull the instructions out from under it.  Retry at the
+            # next quantum boundary.
+            return 0
+        process.adopt_program(rewritten)
+        cycles = 0
+        try:
+            for adoption in adoptions:
+                cycles += self.cis.register_spec(
+                    process, adoption.cid, adoption.spec,
+                    adoption.soft_address, adoption.descriptor(),
+                )
+        except ProcessKilled as killed:
+            self._charge_kernel(process, cycles)
+            self._kill(process, killed.reason)
+            self._synth_done.add(process.pid)
+            return cycles
+        self._synth_done.add(process.pid)
+        self._charge_kernel(process, cycles)
+        return cycles
+
     def _fabric_fault(self, process: Process, fault: FabricFault) -> int:
         """Recover from a detected fabric fault; returns cycles charged."""
         try:
@@ -384,6 +451,10 @@ class Porsche:
             )
         for pid, process in self.processes.items():
             process.restore(saved[pid], self.config)
+        # The synthesis memo is wall-clock only; after a restore the
+        # decision state is re-derived from the restored registrations
+        # (a pre-adoption snapshot must be free to adopt again).
+        self._synth_done.clear()
         self.scheduler.restore(state["scheduler"], self.processes)
         self.policy.restore(state["policy"])
         # Re-attach circuit instances to their PFU slots.  Each loaded

@@ -56,10 +56,15 @@ class Registration:
     loads: int = 0
     evictions: int = 0
     soft_mapped: bool = False
+    #: For kernel-synthesised circuits (no circuit-table entry): the
+    #: mined window descriptor, enough for a checkpoint to re-derive the
+    #: spec and program rewrite deterministically (see
+    #: :func:`repro.synth.adopt.find_adoption`).
+    synth: dict | None = None
 
     # ---- machine-state protocol -------------------------------------------
     def snapshot(self) -> dict:
-        return {
+        snap = {
             "cid": self.cid,
             "soft_address": self.soft_address,
             "pfu_index": self.pfu_index,
@@ -72,6 +77,11 @@ class Registration:
                 "completions": self.instance.completions,
             },
         }
+        if self.synth is not None:
+            # Absent when unused: synthesis-free checkpoints keep their
+            # pre-synthesis byte layout.
+            snap["synth"] = dict(self.synth)
+        return snap
 
 
 @dataclass
@@ -95,10 +105,20 @@ class Process:
     #: The trace counter sink's per-PID view; the kernel re-points this at
     #: spawn so event-derived attribution lands here.
     stats: ProcessStats = field(default_factory=ProcessStats)
+    #: The pristine image before any synthesiser rewrite (``None`` until
+    #: a circuit is adopted); checkpoints re-derive adoptions from it.
+    base_program: Program | None = None
 
     @property
     def alive(self) -> bool:
         return self.state in (ProcessState.READY, ProcessState.RUNNING)
+
+    def adopt_program(self, rewritten: Program) -> None:
+        """Swap in a synthesiser-rewritten image, keeping the original."""
+        if self.base_program is None:
+            self.base_program = self.program
+        self.program = rewritten
+        self.cpu.retarget(rewritten.image.instructions)
 
     def registration(self, cid: int) -> Registration | None:
         return self.registrations.get(cid)
@@ -170,13 +190,29 @@ class Process:
             + (bool(state["coproc_context"]["operands"][3]),),
         }
         self.registrations = {}
+        synth_program: Program | None = None
         for entry in state["registrations"]:
-            if entry["table_index"] is None:
+            synth = entry.get("synth")
+            if synth is not None:
+                # A kernel-synthesised circuit: re-derive the spec and
+                # the rewritten image from the pristine program — both
+                # are pure functions of (program, config).
+                from ..synth.adopt import find_adoption
+
+                adoption, rewritten = find_adoption(
+                    self.base_program or self.program, config,
+                    cid=entry["cid"],
+                    start=synth["start"], end=synth["end"],
+                )
+                spec = adoption.spec
+                synth_program = rewritten
+            elif entry["table_index"] is None:
                 raise KernelError(
                     f"pid {self.pid}: registration for CID {entry['cid']} "
                     "has no circuit-table index; cannot rebuild instance"
                 )
-            spec = self.program.circuit(entry["table_index"])
+            else:
+                spec = self.program.circuit(entry["table_index"])
             instance = spec.instantiate(
                 pid=self.pid, config=config, seed=config.seed
             )
@@ -191,8 +227,17 @@ class Process:
                 loads=entry["loads"],
                 evictions=entry["evictions"],
                 soft_mapped=entry["soft_mapped"],
+                synth=dict(synth) if synth is not None else None,
             )
             self.registrations[registration.cid] = registration
+        if synth_program is not None:
+            self.adopt_program(synth_program)
+        elif self.base_program is not None:
+            # Snapshot predates the adoption: revert to the pristine
+            # image so the synthesiser can re-adopt on its own schedule.
+            self.program = self.base_program
+            self.cpu.retarget(self.base_program.image.instructions)
+            self.base_program = None
         for cid, target in state["aliases"].items():
             self.registrations[int(cid)] = self.registrations[target]
         self.output = list(state["output"])

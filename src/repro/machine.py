@@ -62,6 +62,7 @@ CAPTURE_BASE_QUANTA = 64
 
 def _spec_to_dict(spec: "ExperimentSpec") -> dict:
     from .faults import plan_to_dict
+    from .synth.plan import plan_to_dict as synth_plan_to_dict
 
     payload = asdict(spec)
     payload["variant"] = spec.variant.value
@@ -71,6 +72,12 @@ def _spec_to_dict(spec: "ExperimentSpec") -> dict:
         payload.pop("fault_plan", None)
     else:
         payload["fault_plan"] = plan_to_dict(spec.fault_plan)
+    if spec.synthesis is None:
+        # Same discipline: synthesis-free checkpoints keep their
+        # pre-synthesis byte layout.
+        payload.pop("synthesis", None)
+    else:
+        payload["synthesis"] = synth_plan_to_dict(spec.synthesis)
     return payload
 
 
@@ -83,6 +90,10 @@ def _spec_from_dict(payload: dict) -> "ExperimentSpec":
     fields["variant"] = WorkloadVariant(fields["variant"])
     if fields.get("fault_plan") is not None:
         fields["fault_plan"] = plan_from_dict(fields["fault_plan"])
+    if fields.get("synthesis") is not None:
+        from .synth.plan import plan_from_dict as synth_plan_from_dict
+
+        fields["synthesis"] = synth_plan_from_dict(fields["synthesis"])
     return ExperimentSpec(**fields)
 
 

@@ -10,6 +10,9 @@ Commands:
   machine to JSON, and finish it later (in any interpreter) with a
   bit-identical outcome;
 * ``trace`` — one point with event tracing and timelines;
+* ``synth`` — profiler-driven custom-instruction synthesis: report the
+  mined candidate windows for a workload and compare makespans with
+  synthesis off vs. on (``--sweep`` runs the fig2-style sweep);
 * ``serve`` — the long-lived multi-tenant simulation daemon;
 * ``submit`` — one point through a running daemon, events streamed;
 * ``cache`` — result/checkpoint store stats and age-based pruning.
@@ -31,14 +34,22 @@ import argparse
 import sys
 import time
 
+from ..apps.registry import WORKLOADS
 from ..errors import ExperimentError
 from ..machine import Machine
+from ..synth.plan import SynthesisPlan
 from ..trace.sinks import JsonlSink, RingBufferSink
 from ..trace.timeline import TimelineAggregator
 from .campaign import CampaignConfig, render_campaign, run_campaign
 from .client import ServeClient
 from .experiment import ExperimentSpec, run_experiment
-from .figures import contention_knees, figure2, figure3, speedup_table
+from .figures import (
+    contention_knees,
+    figure2,
+    figure3,
+    speedup_table,
+    synthesis_sweep,
+)
 from .jobs import DEFAULT_TENANT, Scheduler
 from .report import render_figure, render_speedup, render_table, render_trace
 from .runner import (
@@ -50,6 +61,9 @@ from .runner import (
 )
 from .scaling import DEFAULT_SCALE
 from .serve import ServeDaemon, daemon_available, default_socket_path
+
+#: Every registered workload, in stable (sorted) order, for argparse.
+WORKLOAD_CHOICES = tuple(sorted(WORKLOADS))
 
 
 def _progress(stream):
@@ -240,7 +254,7 @@ def main(argv: list[str] | None = None) -> int:
 
     pr = sub.add_parser("run", help="one experiment point")
     _add_common(pr)
-    pr.add_argument("workload", choices=("echo", "alpha", "twofish"))
+    pr.add_argument("workload", choices=WORKLOAD_CHOICES)
     pr.add_argument("instances", type=int)
     pr.add_argument("--quantum-ms", type=float, default=10.0)
     pr.add_argument(
@@ -260,7 +274,7 @@ def main(argv: list[str] | None = None) -> int:
              "checkpoint (JSON) that `repro resume` can finish",
     )
     _add_common(pc)
-    pc.add_argument("workload", choices=("echo", "alpha", "twofish"))
+    pc.add_argument("workload", choices=WORKLOAD_CHOICES)
     pc.add_argument("instances", type=int)
     pc.add_argument("out", help="checkpoint file to write")
     pc.add_argument("--quantum-ms", type=float, default=10.0)
@@ -300,7 +314,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     _add_common(pi)
     pi.add_argument(
-        "--workload", default="alpha", choices=("echo", "alpha", "twofish"),
+        "--workload", default="alpha", choices=WORKLOAD_CHOICES,
         help="workload under injection (default alpha: has software "
              "alternatives, so the fallback policy is meaningful)",
     )
@@ -345,7 +359,7 @@ def main(argv: list[str] | None = None) -> int:
              "per-process attribution + FPL occupancy timelines",
     )
     _add_common(pt)
-    pt.add_argument("workload", choices=("echo", "alpha", "twofish"))
+    pt.add_argument("workload", choices=WORKLOAD_CHOICES)
     pt.add_argument("instances", type=int)
     pt.add_argument("--quantum-ms", type=float, default=10.0)
     pt.add_argument(
@@ -361,6 +375,41 @@ def main(argv: list[str] | None = None) -> int:
     pt.add_argument(
         "--events", type=int, default=8,
         help="show the last N raw events (default 8; 0 disables)",
+    )
+
+    pn = sub.add_parser(
+        "synth",
+        help="profiler-driven custom-instruction synthesis: report the "
+             "mined candidate windows and compare synthesis off vs. on "
+             "(--sweep runs the full fig2-style sweep)",
+    )
+    _add_common(pn)
+    pn.add_argument(
+        "workload", nargs="?", default="hash", choices=WORKLOAD_CHOICES,
+        help="workload to synthesise for (default hash: ships no "
+             "hand-written circuit, so synthesis is the only "
+             "acceleration it can get)",
+    )
+    pn.add_argument("--instances", type=int, default=2)
+    pn.add_argument("--quantum-ms", type=float, default=10.0)
+    pn.add_argument(
+        "--min-executions", type=int, default=None, metavar="N",
+        help="rehearsal executions a window needs before it is "
+             "considered hot (default: the plan's built-in threshold)",
+    )
+    pn.add_argument(
+        "--max-circuits", type=int, default=None, metavar="N",
+        help="cap on adopted circuits per process (default: plan value)",
+    )
+    pn.add_argument(
+        "--trigger", type=int, default=None, metavar="N",
+        help="retired-instruction count that triggers synthesis "
+             "(default: plan value)",
+    )
+    pn.add_argument(
+        "--sweep", action="store_true",
+        help="run the fig2-style synthesis on/off sweep over "
+             "1..--max-instances instead of a single comparison point",
     )
 
     pv = sub.add_parser(
@@ -405,7 +454,7 @@ def main(argv: list[str] | None = None) -> int:
              "for (streamed) completion",
     )
     _add_common(pb)
-    pb.add_argument("workload", choices=("echo", "alpha", "twofish"))
+    pb.add_argument("workload", choices=WORKLOAD_CHOICES)
     pb.add_argument("instances", type=int)
     pb.add_argument("--quantum-ms", type=float, default=10.0)
     pb.add_argument(
@@ -606,6 +655,82 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"  @{event.cycle:<12,} {event.to_dict()}")
         if args.jsonl:
             print(f"\nJSONL event stream written to {args.jsonl}")
+    elif args.command == "synth":
+        overrides = {}
+        if args.min_executions is not None:
+            overrides["min_executions"] = args.min_executions
+        if args.max_circuits is not None:
+            overrides["max_circuits_per_process"] = args.max_circuits
+        if args.trigger is not None:
+            overrides["trigger_instructions"] = args.trigger
+        plan = SynthesisPlan(**overrides)
+        if args.sweep:
+            runner = _make_runner(args)
+            figure = synthesis_sweep(
+                scale=args.scale,
+                instances=range(1, args.max_instances + 1),
+                workloads=(args.workload,),
+                plan=plan,
+                seed=args.seed,
+                verify=args.verify,
+                progress=progress,
+                runner=runner,
+            )
+            _report_sweep(runner, args)
+            _finish_runner(runner)
+            _emit(figure, args)
+        else:
+            from dataclasses import replace
+
+            from ..synth.mine import mine_candidates
+            from .experiment import _cached_program
+
+            spec_on = ExperimentSpec(
+                workload=args.workload,
+                instances=args.instances,
+                quantum_ms=args.quantum_ms,
+                scale=args.scale,
+                seed=args.seed,
+                synthesis=plan,
+            )
+            config = spec_on.build_config()
+            program = _cached_program(
+                spec_on.workload,
+                spec_on.resolve_items(),
+                spec_on.variant,
+                spec_on.register_soft,
+                spec_on.data_seed,
+            )
+            candidates = mine_candidates(program, plan, config)
+            print(f"workload      : {args.workload} ({program.name})")
+            print(f"candidates    : {len(candidates)}")
+            for cand in candidates:
+                inputs = ", ".join(f"r{reg}" for reg in cand.inputs)
+                print(f"  {cand.name}:")
+                print(f"    window      : instructions "
+                      f"[{cand.start}, {cand.end})")
+                print(f"    dataflow    : ({inputs}) -> r{cand.out_reg}")
+                print(f"    hotness     : {cand.count} rehearsal "
+                      f"executions")
+                print(f"    cycles      : {cand.sw_cycles} software vs "
+                      f"{cand.hw_cycles} dispatched")
+                print(f"    circuit     : {cand.clbs} CLBs, "
+                      f"latency {cand.latency}")
+                print(f"    score       : {cand.score:,}")
+            if not candidates:
+                print("  (nothing profitable under this plan)")
+            outcome_off = run_experiment(
+                replace(spec_on, synthesis=None), verify=args.verify
+            )
+            outcome_on = run_experiment(spec_on, verify=args.verify)
+            adopted = outcome_on.cis.get("registrations", 0)
+            print(f"baseline      : {outcome_off.makespan:,} cycles "
+                  f"({spec_on.instances} instances)")
+            print(f"synthesis     : {outcome_on.makespan:,} cycles "
+                  f"({adopted} adoptions)")
+            if outcome_on.makespan:
+                factor = outcome_off.makespan / outcome_on.makespan
+                print(f"speedup       : {factor:.3f}x")
     elif args.command == "serve":
         cache = None if args.no_cache else ResultCache(default_cache_dir())
         checkpoints = (

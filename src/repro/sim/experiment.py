@@ -24,6 +24,7 @@ from ..cpu.program import Program
 from ..errors import ExperimentError
 from ..faults import FaultPlan
 from ..kernel.porsche import KernelStats, Porsche
+from ..synth.plan import SynthesisPlan
 from ..machine import Machine, _spec_from_dict
 from .scaling import DEFAULT_SCALE, scaled_config
 
@@ -61,6 +62,9 @@ class ExperimentSpec:
     #: Fault-injection scenario for dependability campaigns (see
     #: :mod:`repro.faults`); ``None`` disables injection entirely.
     fault_plan: FaultPlan | None = None
+    #: Custom-instruction synthesis plan (see :mod:`repro.synth`);
+    #: ``None`` disables the synthesiser entirely.
+    synthesis: SynthesisPlan | None = None
 
     def __post_init__(self) -> None:
         if self.instances < 1:
@@ -105,6 +109,10 @@ class ExperimentSpec:
         if self.fault_plan is None:
             payload.pop("fault_plan", None)
             payload["config"].pop("fault_plan", None)
+        # Same discipline for the synthesis plan: absent when disabled.
+        if self.synthesis is None:
+            payload.pop("synthesis", None)
+            payload["config"].pop("synthesis", None)
         blob = json.dumps(payload, sort_keys=True, default=repr)
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
@@ -121,6 +129,7 @@ class ExperimentSpec:
             # an explicit 0 is a real seed and must not be replaced.
             seed=MachineConfig.seed if self.seed is None else self.seed,
             fault_plan=self.fault_plan,
+            synthesis=self.synthesis,
         )
         if self.architecture == "memmap":
             config = memmap_config(config)

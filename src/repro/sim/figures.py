@@ -14,6 +14,7 @@ from typing import Callable
 
 from ..apps.registry import get_workload
 from ..apps.workloads import WorkloadVariant
+from ..synth.plan import SynthesisPlan
 from .experiment import ExperimentSpec
 from .runner import SweepRunner
 from .scaling import DEFAULT_SCALE
@@ -224,6 +225,57 @@ def speedup_table(
         series.points[-1].detail["speedup"] = round(factor, 2)
         figure.series.append(series)
     return figure
+
+
+def synthesis_sweep(
+    scale: float = DEFAULT_SCALE,
+    instances: Iterable[int] = range(1, 9),
+    workloads: Sequence[str] = ("hash",),
+    quanta: Sequence[float] = (10.0, 1.0),
+    plan: SynthesisPlan | None = None,
+    seed: int | None = None,
+    verify: bool = False,
+    progress: ProgressFn | None = None,
+    runner: SweepRunner | None = None,
+) -> FigureData:
+    """The §6 "final system" sweep: synthesis off vs. on.
+
+    The baseline series run the circuit-free hash workload as shipped;
+    the synthesis series run the same images with the profiler-driven
+    circuit synthesiser enabled, so the only difference is the mined
+    custom instruction.  Axes match Figure 2 (completion cycles over
+    concurrent instances, two quanta).
+    """
+    plan = plan if plan is not None else SynthesisPlan()
+    figure = FigureData(
+        name="synthesis",
+        title="Profiler-Driven Synthesis Test",
+        xlabel="No. concurrent process instances",
+        ylabel="Completion time in clock cycles",
+    )
+    specs = []
+    for workload in workloads:
+        for synthesis in (None, plan):
+            mode_text = "Baseline" if synthesis is None else "Synthesis"
+            for quantum_ms in quanta:
+                label = _label(workload, mode_text, quantum_ms)
+                for n in instances:
+                    specs.append(
+                        (
+                            label,
+                            ExperimentSpec(
+                                workload=workload,
+                                instances=n,
+                                quantum_ms=quantum_ms,
+                                policy="round_robin",
+                                soft=False,
+                                scale=scale,
+                                seed=seed,
+                                synthesis=synthesis,
+                            ),
+                        )
+                    )
+    return _sweep(figure, specs, verify, progress, runner)
 
 
 def contention_knees(figure: FigureData) -> dict[str, int | None]:

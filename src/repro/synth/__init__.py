@@ -1,0 +1,16 @@
+"""Profiler-driven custom-instruction synthesis (the paper's §6 loop).
+
+The pipeline closes the loop the paper leaves open: the OS profiles a
+running process (:mod:`.profile`), mines hot two-in/one-out dataflow
+windows from its instruction stream (:mod:`.mine`), builds a circuit
+from the FU element library plus a software alternative (:mod:`.build`),
+and adopts the pair mid-run through the ordinary CIS registration
+machinery (:mod:`.adopt`).
+
+Only :mod:`.plan` is imported eagerly — ``repro.config`` depends on it,
+so this package root must not pull in the CPU or kernel layers.
+"""
+
+from .plan import SynthesisPlan, plan_from_dict, plan_to_dict
+
+__all__ = ["SynthesisPlan", "plan_from_dict", "plan_to_dict"]

@@ -1,0 +1,126 @@
+"""Adoption: turn mined windows into registrable circuit/software pairs.
+
+:func:`synthesise` is the single entry point the kernel (and the CLI
+report) uses: for a program image and machine config it returns the
+ordered adoptions and the rewritten program, memoised per program
+object.  Everything downstream of it — CID assignment, soft-routine
+placement, the rewritten image — is a pure function of
+``(program, config)``, which is what makes mid-run adoption safe to
+replay from a checkpoint: the restore path simply re-derives the same
+artefacts from the pristine image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import MachineConfig
+from ..core.circuit import CircuitSpec
+from ..cpu.program import Program
+from ..errors import SynthesisError
+from .build import rewrite_program, soft_address_for, window_graph, window_spec
+from .mine import Candidate, mine_candidates
+
+__all__ = ["Adoption", "synthesise", "find_adoption"]
+
+
+@dataclass(frozen=True)
+class Adoption:
+    """A fully built adoption: circuit, software alternative, rewrite."""
+
+    name: str
+    cid: int
+    start: int
+    end: int
+    inputs: tuple[int, ...]
+    out_reg: int
+    #: Instruction index of the appended software-alternative routine.
+    soft_index: int
+    spec: CircuitSpec
+    count: int
+    sw_cycles: int
+    hw_cycles: int
+    latency: int
+    clbs: int
+
+    @property
+    def soft_address(self) -> int:
+        return soft_address_for(self.soft_index)
+
+    def descriptor(self) -> dict:
+        """What a checkpoint needs to re-derive this adoption."""
+        return {"start": self.start, "end": self.end}
+
+
+#: Memo: (id(program), config) -> (program, adoptions, rewritten).  The
+#: strong program reference keeps the id stable for the cache lifetime.
+_MEMO: dict = {}
+
+
+def synthesise(
+    program: Program, config: MachineConfig
+) -> tuple[tuple[Adoption, ...], Program]:
+    """Mined adoptions plus the rewritten program, best candidate first.
+
+    Returns ``((), program)`` unchanged when nothing profitable is
+    found.  Memoised per program object — within one worker process
+    every process instance of a workload shares the same image, so the
+    mining pass runs once per (image, config) pair.
+    """
+    plan = config.synthesis
+    if plan is None:
+        raise SynthesisError("machine config has no synthesis plan")
+    key = (id(program), config)
+    hit = _MEMO.get(key)
+    if hit is not None:
+        return hit[1], hit[2]
+    instructions = program.image.instructions
+    adoptions: list[Adoption] = []
+    soft_index = len(instructions)
+    for ordinal, cand in enumerate(mine_candidates(program, plan, config)):
+        graph = window_graph(
+            instructions, cand.start, cand.end, cand.inputs, cand.out_reg,
+            cand.name,
+        )
+        adoptions.append(
+            Adoption(
+                name=cand.name,
+                cid=plan.cid_base + ordinal,
+                start=cand.start,
+                end=cand.end,
+                inputs=cand.inputs,
+                out_reg=cand.out_reg,
+                soft_index=soft_index,
+                spec=window_spec(graph),
+                count=cand.count,
+                sw_cycles=cand.sw_cycles,
+                hw_cycles=cand.hw_cycles,
+                latency=cand.latency,
+                clbs=cand.clbs,
+            )
+        )
+        soft_index += len(cand.inputs) + (cand.end - cand.start) + 2
+    result = tuple(adoptions)
+    rewritten = rewrite_program(program, result) if result else program
+    _MEMO[key] = (program, result, rewritten)
+    return result, rewritten
+
+
+def find_adoption(
+    program: Program, config: MachineConfig, cid: int, start: int, end: int
+) -> tuple[Adoption, Program]:
+    """Re-derive one adoption for checkpoint restore.
+
+    ``program`` must be the pristine image; the adoption is matched
+    against the saved registration's window and CID so a checkpoint
+    written under a different plan cannot silently restore the wrong
+    circuit.
+    """
+    adoptions, rewritten = synthesise(program, config)
+    for adoption in adoptions:
+        if (adoption.cid, adoption.start, adoption.end) == (cid, start, end):
+            return adoption, rewritten
+    raise SynthesisError(
+        f"checkpoint references synthesised CID {cid} over "
+        f"[{start}, {end}), but mining derives no such adoption"
+    )

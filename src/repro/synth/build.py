@@ -1,0 +1,207 @@
+"""Circuit and software-alternative construction for mined windows.
+
+Given a straight-line window of data-processing instructions and its
+live-in/live-out registers, this module produces the three artefacts a
+registration needs:
+
+* an :class:`~repro.fabric.elements.ElementGraph` computing exactly what
+  the window computes (symbolic replay of the instruction semantics over
+  the FU element menu — wrapped arithmetic and the barrel-shifter
+  elements reproduce the CPU's ALU bit-for-bit);
+* a *software alternative* routine — the original window instructions
+  bracketed by operand-register loads and a result store, appended to
+  the program image and entered through the standard software-dispatch
+  path (§4.3);
+* the rewritten instruction list, where the window body becomes the
+  dispatch sequence (operand transfers, CDP, result transfer) padded
+  with NOPs so that no instruction index in the image moves.
+
+The dispatch sequence uses the top three FPL registers; the hand-written
+application kernels use only the low ones, so a grown instruction never
+clobbers live coprocessor state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..core.circuit import CircuitSpec
+from ..cpu.assembler import AssembledProgram
+from ..cpu.isa import Instruction, MASK32, Op, code_address
+from ..cpu.program import Program
+from ..errors import SynthesisError
+from ..fabric.elements import ElementGraph
+
+__all__ = [
+    "window_graph",
+    "window_spec",
+    "soft_routine",
+    "dispatch_sequence",
+    "rewrite_program",
+    "FPL_IN_A",
+    "FPL_IN_B",
+    "FPL_OUT",
+]
+
+#: FPL registers the synthesised dispatch sequence may touch (the top of
+#: the 16-register file; applications conventionally use the bottom).
+FPL_IN_A, FPL_IN_B, FPL_OUT = 13, 14, 15
+
+#: Elements applied directly (32-bit in, 32-bit out, CPU semantics).
+_DIRECT = {
+    Op.AND: "and",
+    Op.ORR: "orr",
+    Op.EOR: "eor",
+    Op.BIC: "bic",
+    Op.LSL: "lsl",
+    Op.LSR: "lsr",
+    Op.ASR: "asr",
+    Op.ROR: "ror",
+}
+
+#: Elements computing exact integer arithmetic; the result is passed
+#: through ``wrap`` for the mod-2^32 view the register file observes.
+_WRAPPED = {Op.ADD: "add", Op.SUB: "sub", Op.RSB: "rsb", Op.MUL: "mul"}
+
+
+def window_graph(
+    instructions: list[Instruction],
+    start: int,
+    end: int,
+    inputs: tuple[int, ...],
+    out_reg: int,
+    name: str,
+) -> ElementGraph:
+    """Symbolically replay ``[start, end)`` into an element graph."""
+    graph = ElementGraph(name)
+    wires: dict[int, object] = {}
+    if len(inputs) >= 1:
+        wires[inputs[0]] = graph.input_a()
+    if len(inputs) >= 2:
+        wires[inputs[1]] = graph.input_b()
+
+    def operand2(ins: Instruction):
+        if ins.uses_imm:
+            return graph.const(ins.imm & MASK32)
+        return wires[ins.rm]
+
+    for index in range(start, end):
+        ins = instructions[index]
+        op = ins.op
+        if op is Op.NOP:
+            continue
+        if op is Op.MOV:
+            wires[ins.rd] = operand2(ins)
+        elif op is Op.MVN:
+            wires[ins.rd] = graph.apply("mvn", operand2(ins))
+        elif op is Op.MUL:
+            wires[ins.rd] = graph.apply(
+                "wrap", graph.apply("mul", wires[ins.rn], wires[ins.rm])
+            )
+        elif op in _WRAPPED:
+            wires[ins.rd] = graph.apply(
+                "wrap", graph.apply(_WRAPPED[op], wires[ins.rn], operand2(ins))
+            )
+        elif op in _DIRECT:
+            wires[ins.rd] = graph.apply(
+                _DIRECT[op], wires[ins.rn], operand2(ins)
+            )
+        else:
+            raise SynthesisError(
+                f"{name}: {op.name} at index {index} is not synthesisable"
+            )
+    if out_reg not in wires:
+        raise SynthesisError(f"{name}: window never defines r{out_reg}")
+    graph.set_output(wires[out_reg])
+    return graph
+
+
+def window_spec(graph: ElementGraph) -> CircuitSpec:
+    """A registrable spec for a mined graph (estimator-costed)."""
+    return CircuitSpec.compose(graph.name, graph)
+
+
+def soft_routine(
+    instructions: list[Instruction],
+    start: int,
+    end: int,
+    inputs: tuple[int, ...],
+    out_reg: int,
+) -> list[Instruction]:
+    """The software alternative: operand loads, original body, store."""
+    routine = [
+        Instruction(op=Op.LDO, rd=reg, imm=selector, uses_imm=True)
+        for selector, reg in enumerate(inputs)
+    ]
+    routine.extend(instructions[start:end])
+    routine.append(Instruction(op=Op.STO, rn=out_reg))
+    routine.append(Instruction(op=Op.BX, rn=14))
+    return routine
+
+
+def dispatch_sequence(
+    cid: int, inputs: tuple[int, ...], out_reg: int, length: int
+) -> list[Instruction]:
+    """The in-place replacement: MCRs, CDP, MRC, NOP padding."""
+    sequence = [Instruction(op=Op.MCR, rd=FPL_IN_A, rn=inputs[0])]
+    fm = FPL_IN_A
+    if len(inputs) >= 2:
+        sequence.append(Instruction(op=Op.MCR, rd=FPL_IN_B, rn=inputs[1]))
+        fm = FPL_IN_B
+    sequence.append(
+        Instruction(
+            op=Op.CDP, imm=cid, uses_imm=True,
+            rd=FPL_OUT, rn=FPL_IN_A, rm=fm,
+        )
+    )
+    sequence.append(Instruction(op=Op.MRC, rd=out_reg, rn=FPL_OUT))
+    if len(sequence) > length:
+        raise SynthesisError(
+            f"window of {length} cannot hold a {len(sequence)}-long dispatch"
+        )
+    sequence.extend(
+        Instruction(op=Op.NOP) for _ in range(length - len(sequence))
+    )
+    return sequence
+
+
+def rewrite_program(program: Program, adoptions) -> Program:
+    """A new :class:`Program` with every adoption applied.
+
+    Window bodies are replaced index-for-index (branch offsets stay
+    valid) and each software alternative is appended at the end of the
+    image, where only the synthesised CDP's dispatch entry can reach it.
+    The original program object is never mutated — it may be shared
+    through the workload cache.
+    """
+    instructions = list(program.image.instructions)
+    for adoption in adoptions:
+        body = dispatch_sequence(
+            adoption.cid, adoption.inputs, adoption.out_reg,
+            adoption.end - adoption.start,
+        )
+        if adoption.soft_index != len(instructions):
+            raise SynthesisError(
+                f"{adoption.name}: soft routine expected at index "
+                f"{adoption.soft_index}, image has {len(instructions)}"
+            )
+        instructions[adoption.start:adoption.end] = body
+        instructions.extend(
+            soft_routine(
+                program.image.instructions, adoption.start, adoption.end,
+                adoption.inputs, adoption.out_reg,
+            )
+        )
+    image = AssembledProgram(
+        instructions=instructions,
+        labels=dict(program.image.labels),
+        data=program.image.data,
+        data_base=program.image.data_base,
+        line_map=dict(program.image.line_map),
+    )
+    return replace(program, image=image)
+
+
+def soft_address_for(soft_index: int) -> int:
+    """Code address of an appended software-alternative routine."""
+    return code_address(soft_index)

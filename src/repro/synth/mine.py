@@ -1,0 +1,291 @@
+"""Dataflow-window mining: find instruction runs worth a circuit.
+
+The miner walks the program's basic blocks for straight-line stretches
+of pure data-processing instructions and enumerates sub-windows that fit
+the PFU datapath contract: at most two live-in registers, exactly one
+live-out register, and every other register the window touches dead on
+exit.  Each surviving window is replayed into an element graph
+(:mod:`.build`), costed against the machine's cycle model, weighted by
+the rehearsal profile (:mod:`.profile`), and ranked.
+
+Liveness is a conservative backward dataflow over the whole image.
+``BX`` jumps to a computed address, so everything is live across it;
+``SWI`` uses and defines registers per syscall number — in particular
+``SWI #0`` (exit) never falls through, which is what lets a loop's
+scratch registers die at the loop exit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import MachineConfig
+from ..cpu.blocks import block_leaders
+from ..cpu.isa import (
+    COMPARE_OPS,
+    Cond,
+    Instruction,
+    Op,
+    THREE_OPERAND_OPS,
+)
+from ..cpu.program import Program
+from ..kernel.syscalls import Syscall
+from .build import window_graph
+from .plan import SynthesisPlan
+from .profile import rehearsal_counts
+
+__all__ = ["Candidate", "mine_candidates", "liveness"]
+
+_ALL_REGS = frozenset(range(16))
+
+#: Ops a window may contain: pure register-to-register data processing.
+_WINDOW_OPS = frozenset(
+    THREE_OPERAND_OPS | {Op.MOV, Op.MVN, Op.MUL}
+)
+
+#: Architectural uses per syscall number (see ``kernel/syscalls.py``).
+_SYSCALL_USES = {
+    int(Syscall.EXIT): frozenset({0}),
+    int(Syscall.REGISTER): frozenset({0, 1, 2}),
+    int(Syscall.YIELD): frozenset(),
+    int(Syscall.WRITE): frozenset({0}),
+    int(Syscall.CLOCK): frozenset(),
+    int(Syscall.ALIAS): frozenset({0, 1}),
+}
+
+#: Architectural defs per syscall number.
+_SYSCALL_DEFS = {int(Syscall.CLOCK): frozenset({0})}
+
+
+def _uses_defs(ins: Instruction) -> tuple[frozenset[int], frozenset[int]]:
+    op = ins.op
+    if op in THREE_OPERAND_OPS:
+        uses = {ins.rn} if ins.uses_imm else {ins.rn, ins.rm}
+        return frozenset(uses), frozenset({ins.rd})
+    if op is Op.MOV or op is Op.MVN:
+        uses = frozenset() if ins.uses_imm else frozenset({ins.rm})
+        return uses, frozenset({ins.rd})
+    if op is Op.MUL:
+        return frozenset({ins.rn, ins.rm}), frozenset({ins.rd})
+    if op in COMPARE_OPS:
+        uses = {ins.rn} if ins.uses_imm else {ins.rn, ins.rm}
+        return frozenset(uses), frozenset()
+    if op is Op.LDR or op is Op.LDRB:
+        defs = {ins.rd, ins.rn} if ins.post_inc else {ins.rd}
+        return frozenset({ins.rn}), frozenset(defs)
+    if op is Op.STR or op is Op.STRB:
+        defs = frozenset({ins.rn}) if ins.post_inc else frozenset()
+        return frozenset({ins.rn, ins.rd}), defs
+    if op is Op.BL:
+        return frozenset(), frozenset({14})
+    if op is Op.BX:
+        return frozenset({ins.rn}), frozenset()
+    if op is Op.SWI:
+        uses = _SYSCALL_USES.get(ins.imm, _ALL_REGS)
+        return uses, _SYSCALL_DEFS.get(ins.imm, frozenset())
+    if op is Op.MCR or op is Op.STO:
+        return frozenset({ins.rn}), frozenset()
+    if op is Op.MRC or op is Op.LDO:
+        return frozenset(), frozenset({ins.rd})
+    if op is Op.HALT:
+        return frozenset({0}), frozenset()
+    # NOP, B, CDP (CDP operands are FPL registers, not core ones).
+    return frozenset(), frozenset()
+
+
+def _successors(ins: Instruction, index: int, length: int) -> tuple[int, ...]:
+    op = ins.op
+    if op is Op.B or op is Op.BL:
+        target = index + 1 + ins.imm
+        succ = [target] if 0 <= target < length else []
+        if op is Op.BL or ins.cond is not Cond.AL:
+            succ.append(index + 1)
+        return tuple(s for s in succ if s < length)
+    if op is Op.HALT:
+        return ()
+    if op is Op.SWI and ins.imm == int(Syscall.EXIT):
+        return ()  # exit never falls through
+    if op is Op.BX:
+        return ()  # computed target: handled as all-live in liveness()
+    return (index + 1,) if index + 1 < length else ()
+
+
+def liveness(instructions: list[Instruction]) -> list[frozenset[int]]:
+    """``live[i]`` = registers live on *entry* to instruction ``i``.
+
+    Conservative: ``BX`` (computed jump, including software-dispatch
+    returns) makes every register live, and unknown syscall numbers use
+    everything.
+    """
+    length = len(instructions)
+    ud = [_uses_defs(ins) for ins in instructions]
+    succ = [_successors(ins, i, length) for i, ins in enumerate(instructions)]
+    live_in: list[frozenset[int]] = [frozenset()] * length
+    changed = True
+    while changed:
+        changed = False
+        for i in range(length - 1, -1, -1):
+            if instructions[i].op is Op.BX:
+                out = _ALL_REGS
+            else:
+                out: frozenset[int] = frozenset()
+                for s in succ[i]:
+                    out |= live_in[s]
+            uses, defs = ud[i]
+            new_in = uses | (out - defs)
+            if new_in != live_in[i]:
+                live_in[i] = new_in
+                changed = True
+    return live_in
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One mined window, ready for adoption."""
+
+    name: str
+    start: int
+    end: int
+    inputs: tuple[int, ...]
+    out_reg: int
+    #: Rehearsal executions of the window.
+    count: int
+    #: Cycle cost of the original instruction run, per execution.
+    sw_cycles: int
+    #: Cycle cost of the dispatch sequence (hardware path), per execution.
+    hw_cycles: int
+    latency: int
+    clbs: int
+
+    @property
+    def score(self) -> int:
+        return self.count * (self.sw_cycles - self.hw_cycles)
+
+
+def _windowable(ins: Instruction) -> bool:
+    if ins.op not in _WINDOW_OPS or ins.cond is not Cond.AL:
+        return False
+    regs = {ins.rd, ins.rn}
+    if not ins.uses_imm or ins.op is Op.MUL:
+        regs.add(ins.rm)
+    return all(reg < 13 for reg in regs)
+
+
+def _stretches(instructions: list[Instruction]) -> list[tuple[int, int]]:
+    """Maximal data-op stretches that no branch target splits."""
+    leaders = block_leaders(instructions)
+    out: list[tuple[int, int]] = []
+    start = None
+    for i, ins in enumerate(instructions):
+        boundary = i in leaders
+        if _windowable(ins) and not (boundary and start is not None):
+            if start is None:
+                start = i
+        else:
+            if start is not None:
+                out.append((start, i))
+            start = i if _windowable(ins) else None
+    if start is not None:
+        out.append((start, len(instructions)))
+    return out
+
+
+def _window_io(
+    ud: list[tuple[frozenset[int], frozenset[int]]],
+    live_in: list[frozenset[int]],
+    start: int,
+    end: int,
+    length: int,
+) -> tuple[tuple[int, ...], int] | None:
+    """(live-in regs, live-out reg) for a window, or None if unfit."""
+    defined: set[int] = set()
+    inputs: set[int] = set()
+    for i in range(start, end):
+        uses, defs = ud[i]
+        inputs |= uses - defined
+        defined |= defs
+    if not 1 <= len(inputs) <= 2:
+        return None
+    live_after = live_in[end] if end < length else frozenset()
+    outs = defined & live_after
+    if len(outs) != 1:
+        return None
+    return tuple(sorted(inputs)), next(iter(outs))
+
+
+def _sw_cycles(config: MachineConfig, instructions, start: int, end: int) -> int:
+    return sum(
+        config.mul_cycles if instructions[i].op is Op.MUL else config.alu_cycles
+        for i in range(start, end)
+    )
+
+
+def _hw_cycles(config: MachineConfig, n_inputs: int, length: int,
+               latency: int) -> int:
+    moves = n_inputs + 1  # MCRs in, MRC out
+    nops = length - n_inputs - 2
+    return (
+        moves * config.coproc_transfer_cycles
+        + config.cdp_issue_cycles
+        + latency
+        + nops * config.alu_cycles
+    )
+
+
+def mine_candidates(
+    program: Program, plan: SynthesisPlan, config: MachineConfig
+) -> list[Candidate]:
+    """Profitable, non-overlapping windows, best first.
+
+    Pure function of its arguments: rehearsal, liveness and the cost
+    model involve no clocks or randomness, so every execution tier,
+    worker process and resumed checkpoint mines the same list.
+    """
+    instructions = program.image.instructions
+    length = len(instructions)
+    counts = rehearsal_counts(program, config, plan.rehearsal_steps)
+    live_in = liveness(instructions)
+    ud = [_uses_defs(ins) for ins in instructions]
+    candidates: list[Candidate] = []
+    for run_start, run_end in _stretches(instructions):
+        for start in range(run_start, run_end):
+            if counts[start] < plan.min_executions:
+                continue
+            limit = min(run_end, start + plan.max_window)
+            for end in range(start + plan.min_window, limit + 1):
+                io = _window_io(ud, live_in, start, end, length)
+                if io is None:
+                    continue
+                inputs, out_reg = io
+                name = f"synth_{program.name}_{start}_{end}"
+                graph = window_graph(
+                    instructions, start, end, inputs, out_reg, name
+                )
+                clbs = graph.clb_estimate()
+                if clbs > config.pfu_clbs:
+                    continue
+                latency = graph.latency_estimate()
+                sw = _sw_cycles(config, instructions, start, end)
+                hw = _hw_cycles(config, len(inputs), end - start, latency)
+                if hw >= sw:
+                    continue
+                candidates.append(
+                    Candidate(
+                        name=name, start=start, end=end, inputs=inputs,
+                        out_reg=out_reg, count=counts[start],
+                        sw_cycles=sw, hw_cycles=hw,
+                        latency=latency, clbs=clbs,
+                    )
+                )
+    candidates.sort(key=lambda c: (-c.score, -(c.end - c.start), c.start))
+    chosen: list[Candidate] = []
+    for candidate in candidates:
+        if len(chosen) >= plan.max_circuits_per_process:
+            break
+        if any(
+            candidate.start < other.end and other.start < candidate.end
+            for other in chosen
+        ):
+            continue
+        chosen.append(candidate)
+    return chosen

@@ -1,0 +1,92 @@
+"""Synthesis plan: the knobs of the custom-instruction synthesiser.
+
+A :class:`SynthesisPlan` switches on the paper's "final system" idea
+(§6): rather than relying on application programmers to hand-write
+circuits, the operating system watches a process run, finds hot
+instruction runs that fit the PFU datapath, and *grows* a custom
+instruction for them — circuit plus software alternative — registering
+it through the same CIS machinery a hand-written circuit would use.
+
+The plan is deliberately a frozen dataclass so it can ride inside
+:class:`repro.config.MachineConfig` and :class:`ExperimentSpec` and
+participate in spec keys, checkpoints and the on-disk cache.  This
+module must stay import-light (``repro.config`` imports it): only the
+error hierarchy may be imported from the package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from ..errors import SynthesisError
+
+__all__ = ["SynthesisPlan", "plan_to_dict", "plan_from_dict"]
+
+
+@dataclass(frozen=True)
+class SynthesisPlan:
+    """Configuration of the profiler-driven synthesis pipeline.
+
+    All knobs are architectural (instruction counts, window sizes,
+    cycle-model inputs), so a plan fully determines what is mined and
+    adopted for a given program + machine config — across execution
+    tiers, worker processes and checkpoint/resume.
+    """
+
+    #: Upper bound on instructions the rehearsal profiler executes when
+    #: estimating hotness.  The rehearsal runs on a scratch copy of the
+    #: process image, so this costs host time, not simulated cycles.
+    rehearsal_steps: int = 20_000
+
+    #: Minimum rehearsal executions of a window before it is worth a
+    #: circuit (cold code never amortises the configuration transfer).
+    min_executions: int = 16
+
+    #: Smallest instruction window to replace.  The replacement sequence
+    #: (operand transfers + CDP + result transfer) is four instructions
+    #: long, so windows below four cannot shrink and are never mined.
+    min_window: int = 4
+
+    #: Largest instruction window considered.
+    max_window: int = 24
+
+    #: How many synthesised circuits a single process may adopt.
+    max_circuits_per_process: int = 1
+
+    #: Instructions a process must retire before the synthesiser looks
+    #: at it.  Retired-instruction counts are architectural state, so
+    #: the trigger point survives checkpoints and tier changes.
+    trigger_instructions: int = 400
+
+    #: First CID granted to synthesised circuits.  Kept well above the
+    #: small CIDs applications register by hand so a grown instruction
+    #: never collides with a program's own table.
+    cid_base: int = 64
+
+    def __post_init__(self) -> None:
+        if self.rehearsal_steps <= 0:
+            raise SynthesisError("rehearsal_steps must be positive")
+        if self.min_executions < 1:
+            raise SynthesisError("min_executions must be at least 1")
+        if self.min_window < 4:
+            raise SynthesisError(
+                "min_window below 4 cannot fit the dispatch sequence"
+            )
+        if self.max_window < self.min_window:
+            raise SynthesisError("max_window smaller than min_window")
+        if self.max_circuits_per_process < 1:
+            raise SynthesisError("max_circuits_per_process must be >= 1")
+        if self.trigger_instructions < 0:
+            raise SynthesisError("trigger_instructions must be >= 0")
+        if self.cid_base < 1:
+            raise SynthesisError("cid_base must be >= 1")
+
+
+def plan_to_dict(plan: SynthesisPlan) -> dict:
+    """Serialise for spec keys, checkpoints and the daemon protocol."""
+    return asdict(plan)
+
+
+def plan_from_dict(data: dict) -> SynthesisPlan:
+    """Inverse of :func:`plan_to_dict` (validates via ``__post_init__``)."""
+    return SynthesisPlan(**data)

@@ -1,0 +1,67 @@
+"""Rehearsal profiler: estimate per-instruction hotness off-line.
+
+The CIS cannot afford to instrument the live process, so it *rehearses*
+the program instead: a scratch CPU steps a private copy of the process
+image from its entry point, counting how many times each instruction
+index executes.  The rehearsal stops at the first coprocessor-interface
+instruction (a program already driving the FPL is outside the miner's
+remit at that point), at process exit, or when the step bound runs out.
+
+The rehearsal is a pure function of the program image and the machine
+config — no clocks, no scheduler — so every worker process, execution
+tier and checkpoint resume derives the identical profile.
+"""
+
+from __future__ import annotations
+
+from ..config import MachineConfig
+from ..cpu.core import CPU, CPUState
+from ..cpu.exceptions import ExitTrap, SyscallTrap
+from ..cpu.isa import Op, code_address, code_index
+from ..cpu.program import Program
+from ..errors import ReproError
+from ..kernel.syscalls import Syscall
+
+__all__ = ["rehearsal_counts"]
+
+#: Instructions that talk to the coprocessor interface; the scratch CPU
+#: has no coprocessor attached, so the rehearsal stops in front of them.
+_COPROC_OPS = frozenset({Op.MCR, Op.MRC, Op.CDP, Op.LDO, Op.STO})
+
+
+def rehearsal_counts(program: Program, config: MachineConfig,
+                     max_steps: int) -> list[int]:
+    """Execution count per instruction index over a bounded rehearsal."""
+    instructions = program.image.instructions
+    counts = [0] * len(instructions)
+    state = CPUState(memory=program.build_memory())
+    state.pc = code_address(program.image.entry_index)
+    cpu = CPU(config=config, program=instructions, state=state,
+              coprocessor=None, pid=0)
+    steps = 0
+    while steps < max_steps and not state.halted:
+        index = code_index(state.pc)
+        if not 0 <= index < len(instructions):
+            break
+        if instructions[index].op in _COPROC_OPS:
+            break
+        steps += 1
+        try:
+            cpu.step()
+        except ExitTrap:
+            counts[index] += 1
+            break
+        except SyscallTrap as trap:
+            # Syscall side effects (clock reads, output writes) are not
+            # modelled during rehearsal; counts are a ranking heuristic,
+            # and the profile stays deterministic either way.
+            counts[index] += 1
+            if trap.number == Syscall.EXIT:
+                break
+            continue
+        except ReproError:
+            # A rehearsal that faults (e.g. a data-dependent wild access
+            # the kernel would kill) simply ends the profile early.
+            break
+        counts[index] += 1
+    return counts

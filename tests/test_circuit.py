@@ -12,8 +12,23 @@ from repro.core.circuit import (
     FunctionBehaviour,
 )
 from repro.errors import PFUError
+from repro.fabric.elements import ElementGraph
 
 CONFIG = MachineConfig()
+MASK32 = 0xFFFFFFFF
+
+
+def _mix_spec() -> CircuitSpec:
+    """A library-composed stateful circuit: out = (a * b) ^ state[0],
+    with the result folded back into the state word."""
+    graph = ElementGraph("mix")
+    product = graph.apply(
+        "wrap", graph.apply("mul", graph.input_a(), graph.input_b())
+    )
+    mixed = graph.apply("eor", product, graph.state(0))
+    graph.set_state(0, mixed)
+    graph.set_output(mixed)
+    return CircuitSpec.compose("mix", graph, app_state_words=1)
 
 
 class TestSpec:
@@ -142,6 +157,26 @@ class TestStateMovement:
         with pytest.raises(PFUError):
             instance.restore_words([0])
 
+    def test_restore_masks_corrupted_words(self):
+        """A fault-corrupted state section is clamped to the 32 bits a
+        CLB register can actually hold, not fed raw into compute()."""
+        instance = counter_spec().instantiate(1, CONFIG)
+        instance.restore_words(
+            [(1 << 40) | 5, 1, (1 << 36) | 2, (1 << 33) | 7, -1]
+        )
+        assert instance.state == [5]
+        assert instance.busy
+        assert instance.cycles_done == 2
+        assert instance.latched_a == 7
+        assert instance.latched_b == MASK32
+
+    def test_restore_negative_cycles_rejected(self):
+        """A negative completed-cycle count has no hardware meaning; it
+        must be refused, not wrapped into a huge remaining latency."""
+        instance = adder_spec().instantiate(1, CONFIG)
+        with pytest.raises(PFUError):
+            instance.restore_words([1, -3, 0, 0])
+
     @given(
         latency=st.integers(min_value=1, max_value=20),
         cut=st.integers(min_value=0, max_value=19),
@@ -160,3 +195,51 @@ class TestStateMovement:
         resumed = adder_spec(latency=latency).instantiate(1, CONFIG)
         resumed.restore(snapshot)
         assert resumed.advance(latency - cut) == (a + b) & 0xFFFFFFFF
+
+
+class TestLibraryComposedState:
+    """capture_words/restore_words round-trips on a spec built from the
+    FU element library — the path every synthesised circuit takes."""
+
+    @given(
+        a=st.integers(min_value=0, max_value=0xFFFFFFFF),
+        b=st.integers(min_value=0, max_value=0xFFFFFFFF),
+        seed_state=st.integers(min_value=0, max_value=0xFFFFFFFF),
+    )
+    @settings(max_examples=50)
+    def test_roundtrip_idle(self, a, b, seed_state):
+        instance = _mix_spec().instantiate(1, CONFIG)
+        instance.restore_words([seed_state, 0, 0, 0, 0])
+        instance.begin(a, b)
+        instance.advance(instance.remaining_cycles())
+        words = instance.capture_words()
+        clone = _mix_spec().instantiate(1, CONFIG)
+        clone.restore_words(words)
+        assert clone.capture_words() == words
+        assert clone.state == [((a * b) & MASK32) ^ seed_state]
+        assert not clone.busy
+
+    @given(
+        a=st.integers(min_value=0, max_value=0xFFFFFFFF),
+        b=st.integers(min_value=0, max_value=0xFFFFFFFF),
+        seed_state=st.integers(min_value=0, max_value=0xFFFFFFFF),
+        cut=st.integers(min_value=0, max_value=30),
+    )
+    @settings(max_examples=50)
+    def test_roundtrip_in_flight(self, a, b, seed_state, cut):
+        """An interrupted invocation moves to a fresh instance through
+        the state words and completes with the same result and state."""
+        instance = _mix_spec().instantiate(1, CONFIG)
+        instance.restore_words([seed_state, 0, 0, 0, 0])
+        total = instance.begin(a, b)
+        instance.advance(min(cut, total - 1))
+        words = instance.capture_words()
+
+        clone = _mix_spec().instantiate(1, CONFIG)
+        clone.restore_words(words)
+        assert clone.capture_words() == words
+        assert clone.busy
+        expected = ((a * b) & MASK32) ^ seed_state
+        assert clone.advance(clone.remaining_cycles()) == expected
+        assert instance.advance(instance.remaining_cycles()) == expected
+        assert clone.state == instance.state == [expected]

@@ -22,8 +22,8 @@ from repro.errors import WorkloadError
 
 
 class TestRegistry:
-    def test_three_workloads(self):
-        assert set(WORKLOADS) == {"echo", "alpha", "twofish"}
+    def test_registered_workloads(self):
+        assert set(WORKLOADS) == {"echo", "alpha", "twofish", "hash"}
 
     def test_lookup(self):
         assert get_workload("alpha").name == "alpha"
@@ -31,6 +31,15 @@ class TestRegistry:
     def test_unknown_rejected(self):
         with pytest.raises(WorkloadError):
             get_workload("raytracer")
+
+    def test_unknown_error_lists_choices(self):
+        """The error must name the workload and every valid choice."""
+        with pytest.raises(WorkloadError) as excinfo:
+            get_workload("raytracer")
+        message = str(excinfo.value)
+        assert "'raytracer'" in message
+        for name in sorted(WORKLOADS):
+            assert name in message
 
     def test_contention_knees_match_paper(self):
         """§5.1: echo uses two circuits, the others one."""
