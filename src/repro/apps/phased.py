@@ -1,0 +1,390 @@
+"""Phase-changing and bursty workloads for the prefetch evaluation.
+
+The three paper applications alternate circuits every item, which gives a
+transition predictor perfect accuracy but the transfer engine almost no
+idle bus time to hide a configuration load in.  These two workloads keep
+the same two-custom-instruction shape but dwell on one circuit for a
+*run* of items before switching:
+
+* ``phases`` — strict alternation of fixed-length phases (16 items of
+  CID 1, 16 of CID 2, repeat): the regular phase-change pattern, fully
+  predictable and with long idle-bus windows.
+* ``burst`` — seeded variable-length bursts of CID 1 (8..40 items)
+  separated by short CID 2 interludes (2..6 items): the irregular case,
+  where a predictor must ride out noisy run lengths.
+
+Both circuits are stateless per-sample filters over the same Q15 audio
+stream, chained through the previous output so the reference model is a
+strict left fold:
+
+* ``phase_acc`` (CID 1) — a leaky accumulator: ``y = sat16((3x + p) >> 2)``
+* ``phase_dif`` (CID 2) — a differencer:       ``y = sat16(x - (p >> 1))``
+
+with ``x`` the input sample and ``p`` the previous output.  The schedule
+of (CID, run-length) pairs is a pure function shared by the program
+builder and the reference model, so verification covers the dispatch
+sequencing as well as the arithmetic.
+"""
+
+from __future__ import annotations
+
+from ..core.circuit import CircuitSpec
+from ..cpu.program import Program
+from ..fabric.elements import ElementGraph
+from .data import synthetic_audio, words_to_bytes, words_to_directive
+from .workloads import Workload, WorkloadVariant, memory_size_for
+
+MASK32 = 0xFFFFFFFF
+
+#: Fixed phase length of the ``phases`` workload, in items.
+PHASE_RUN = 16
+#: Burst-length bounds of the ``burst`` workload, in items.
+BURST_MAIN = (8, 40)
+BURST_INTERLUDE = (2, 6)
+
+PHASE_ACC_CLBS = 300
+PHASE_DIF_CLBS = 260
+#: Both filters are a short add/shift tree.
+PHASE_LATENCY = 2
+
+
+def _signed(value: int) -> int:
+    value &= MASK32
+    return value - (1 << 32) if value >> 31 else value
+
+
+def acc_step(x: int, prev: int) -> int:
+    """One ``phase_acc`` evaluation: ``sat16((3x + p) >> 2)``."""
+    folded = _signed((3 * _signed(x) + _signed(prev)) & MASK32) >> 2
+    return max(-32768, min(32767, folded)) & MASK32
+
+
+def dif_step(x: int, prev: int) -> int:
+    """One ``phase_dif`` evaluation: ``sat16(x - (p >> 1))``."""
+    folded = _signed((_signed(x) - (_signed(prev) >> 1)) & MASK32)
+    return max(-32768, min(32767, folded)) & MASK32
+
+
+def phase_schedule(items: int, kind: str, seed: int = 0) -> list[tuple[int, int]]:
+    """The (CID, run-length) schedule covering ``items`` items.
+
+    Pure and deterministic: the program builder lays these pairs into the
+    image's data section and the reference model folds over the same
+    list.  ``kind`` is ``"phases"`` (fixed alternation) or ``"burst"``
+    (seeded variable-length bursts via a 32-bit LCG).
+    """
+    runs: list[tuple[int, int]] = []
+    remaining = items
+    if kind == "phases":
+        cid = 1
+        while remaining > 0:
+            length = min(PHASE_RUN, remaining)
+            runs.append((cid, length))
+            remaining -= length
+            cid = 3 - cid
+        return runs
+    if kind != "burst":
+        raise ValueError(f"unknown schedule kind {kind!r}")
+    # A bare LCG rather than random.Random: two draws per burst pair keep
+    # the schedule cheap to regenerate at any items count.
+    state = (seed * 2654435761 + 0x9E3779B9) & MASK32
+    while remaining > 0:
+        state = (state * 1664525 + 1013904223) & MASK32
+        lo, hi = BURST_MAIN
+        main = lo + (state >> 16) % (hi - lo + 1)
+        runs.append((1, min(main, remaining)))
+        remaining -= main
+        if remaining <= 0:
+            break
+        state = (state * 1664525 + 1013904223) & MASK32
+        lo, hi = BURST_INTERLUDE
+        pause = lo + (state >> 16) % (hi - lo + 1)
+        runs.append((2, min(pause, remaining)))
+        remaining -= pause
+    return runs
+
+
+def _acc_graph() -> ElementGraph:
+    g = ElementGraph("phase_acc")
+    x, prev = g.input_a(), g.input_b()
+    acc = g.apply(
+        "add", g.apply("mul", g.const(3), g.apply("sgn", x)), g.apply("sgn", prev)
+    )
+    folded = g.apply("shr", g.apply("sgn", g.apply("wrap", acc)), g.const(2))
+    g.set_output(g.apply("sat16", folded))
+    return g
+
+
+def _dif_graph() -> ElementGraph:
+    g = ElementGraph("phase_dif")
+    x, prev = g.input_a(), g.input_b()
+    half = g.apply("shr", g.apply("sgn", prev), g.const(1))
+    diff = g.apply("sub", g.apply("sgn", x), half)
+    folded = g.apply("sgn", g.apply("wrap", diff))
+    g.set_output(g.apply("sat16", folded))
+    return g
+
+
+def make_acc_circuit() -> CircuitSpec:
+    return CircuitSpec.compose(
+        "phase_acc",
+        _acc_graph(),
+        clb_count=PHASE_ACC_CLBS,
+        latency=PHASE_LATENCY,
+    )
+
+
+def make_dif_circuit() -> CircuitSpec:
+    return CircuitSpec.compose(
+        "phase_dif",
+        _dif_graph(),
+        clb_count=PHASE_DIF_CLBS,
+        latency=PHASE_LATENCY,
+    )
+
+
+# ---------------------------------------------------------------------------
+# assembly kernels
+# ---------------------------------------------------------------------------
+
+def _acc_body(prefix: str) -> str:
+    """phase_acc on r0 = x, r1 = p -> r0 = y; clobbers r2, r3."""
+    return f"""\
+    MOV  r2, #3
+    MUL  r0, r0, r2        ; 3x
+    ADD  r0, r0, r1
+    ASR  r0, r0, #2
+    MOV  r3, #32767        ; saturate to 16 bits
+    CMP  r0, r3
+    BLE  {prefix}_nh
+    MOV  r0, r3
+{prefix}_nh:
+    MOV  r3, #-32768
+    CMP  r0, r3
+    BGE  {prefix}_nl
+    MOV  r0, r3
+{prefix}_nl:
+"""
+
+
+def _dif_body(prefix: str) -> str:
+    """phase_dif on r0 = x, r1 = p -> r0 = y; clobbers r3."""
+    return f"""\
+    ASR  r3, r1, #1        ; p >> 1
+    SUB  r0, r0, r3
+    MOV  r3, #32767        ; saturate to 16 bits
+    CMP  r0, r3
+    BLE  {prefix}_nh
+    MOV  r0, r3
+{prefix}_nh:
+    MOV  r3, #-32768
+    CMP  r0, r3
+    BGE  {prefix}_nl
+    MOV  r0, r3
+{prefix}_nl:
+"""
+
+
+def _schedule_words(runs: list[tuple[int, int]]) -> list[int]:
+    """The schedule flattened into (cid, count) word pairs plus a 0 stop."""
+    words: list[int] = []
+    for cid, count in runs:
+        words.extend((cid, count))
+    words.append(0)
+    return words
+
+
+def _data_section(samples: list[int], items: int,
+                  runs: list[tuple[int, int]], soft_ptrs: bool) -> str:
+    parts = []
+    if soft_ptrs:
+        parts.append("soft_acc_ptr:\n    .word phase_acc_soft")
+        parts.append("soft_dif_ptr:\n    .word phase_dif_soft")
+    parts.append("sched:\n" + words_to_directive(_schedule_words(runs)))
+    parts.append("src:\n" + words_to_directive(samples))
+    parts.append(f"dst:\n    .space {4 * items}")
+    return "\n".join(parts)
+
+
+def _accelerated_source(items: int, samples: list[int],
+                        runs: list[tuple[int, int]],
+                        register_soft: bool) -> str:
+    if register_soft:
+        reg_acc = "    MOV  r2, #soft_acc_ptr\n    LDR  r2, [r2]\n"
+        reg_dif = "    MOV  r2, #soft_dif_ptr\n    LDR  r2, [r2]\n"
+        soft_code = f"""
+phase_acc_soft:
+    LDO  r0, #0
+    LDO  r1, #1
+{_acc_body("pas")}    STO  r0
+    BX   lr
+
+phase_dif_soft:
+    LDO  r0, #0
+    LDO  r1, #1
+{_dif_body("pds")}    STO  r0
+    BX   lr
+"""
+    else:
+        reg_acc = reg_dif = "    MOV  r2, #0\n"
+        soft_code = ""
+    return f"""\
+; schedule-driven two-circuit filter (phase-change / burst patterns)
+.text
+main:
+    MOV  r0, #1            ; CID 1: phase_acc
+    MOV  r1, #0
+{reg_acc}    SWI  #1
+    MOV  r0, #2            ; CID 2: phase_dif
+    MOV  r1, #1
+{reg_dif}    SWI  #1
+    MOV  r4, #src
+    MOV  r5, #dst
+    MOV  r7, #sched
+    MOV  r9, #0            ; previous output
+sched_loop:
+    LDR  r10, [r7], #4     ; cid (0 terminates)
+    CMP  r10, #0
+    BEQ  done
+    LDR  r11, [r7], #4     ; run length
+run_loop:
+    LDR  r0, [r4], #4      ; x
+    MCR  f0, r0
+    MCR  f1, r9
+    CMP  r10, #2
+    BEQ  use_dif
+    CDP  #1, f2, f0, f1    ; phase_acc(x, p) -> y
+    B    fetch
+use_dif:
+    CDP  #2, f2, f0, f1    ; phase_dif(x, p) -> y
+fetch:
+    MRC  r9, f2
+    STR  r9, [r5], #4
+    SUB  r11, r11, #1
+    CMP  r11, #0
+    BNE  run_loop
+    B    sched_loop
+done:
+    MOV  r0, #0
+    SWI  #0
+{soft_code}
+.data
+{_data_section(samples, items, runs, register_soft)}
+"""
+
+
+def _software_source(items: int, samples: list[int],
+                     runs: list[tuple[int, int]]) -> str:
+    return f"""\
+; schedule-driven two-circuit filter, pure software baseline
+.text
+main:
+    MOV  r4, #src
+    MOV  r5, #dst
+    MOV  r7, #sched
+    MOV  r9, #0            ; previous output
+usched_loop:
+    LDR  r10, [r7], #4     ; cid (0 terminates)
+    CMP  r10, #0
+    BEQ  udone
+    LDR  r11, [r7], #4     ; run length
+urun_loop:
+    LDR  r0, [r4], #4      ; x
+    MOV  r1, r9
+    CMP  r10, #2
+    BEQ  usw_dif
+    BL   acc_fn
+    B    usw_store
+usw_dif:
+    BL   dif_fn
+usw_store:
+    MOV  r9, r0
+    STR  r9, [r5], #4
+    SUB  r11, r11, #1
+    CMP  r11, #0
+    BNE  urun_loop
+    B    usched_loop
+udone:
+    MOV  r0, #0
+    SWI  #0
+
+acc_fn:
+{_acc_body("af")}    BX   lr
+
+dif_fn:
+{_dif_body("df")}    BX   lr
+
+.data
+{_data_section(samples, items, runs, False)}
+"""
+
+
+def _build_phased_program(
+    kind: str,
+    items: int,
+    seed: int = 0,
+    variant: WorkloadVariant = WorkloadVariant.ACCELERATED,
+    register_soft: bool = True,
+) -> Program:
+    samples = synthetic_audio(items, seed=seed)
+    runs = phase_schedule(items, kind, seed=seed)
+    if variant is WorkloadVariant.ACCELERATED:
+        source = _accelerated_source(items, samples, runs, register_soft)
+        circuits = [make_acc_circuit(), make_dif_circuit()]
+    else:
+        source = _software_source(items, samples, runs)
+        circuits = []
+    data_bytes = 4 * (2 * items + 2 * len(runs) + 16)
+    return Program.from_source(
+        name=f"{kind}[{variant.value},{items}]",
+        source=source,
+        circuit_table=circuits,
+        memory_size=memory_size_for(data_bytes),
+        result_labels={"dst": 4 * items},
+    )
+
+
+def phased_reference(kind: str, items: int, seed: int = 0) -> bytes:
+    """Expected ``dst`` contents: the schedule folded over the samples."""
+    samples = synthetic_audio(items, seed=seed)
+    out: list[int] = []
+    prev = 0
+    index = 0
+    for cid, count in phase_schedule(items, kind, seed=seed):
+        step = acc_step if cid == 1 else dif_step
+        for _ in range(count):
+            prev = step(samples[index], prev)
+            out.append(prev)
+            index += 1
+    return words_to_bytes(out)
+
+
+#: Paper-scale item counts: ~1.3e8 cycles at ~30 cycles/item.
+PAPER_ITEMS = 4_300_000
+
+
+def _make_workload(kind: str) -> Workload:
+    def builder(items, seed, variant, register_soft):
+        return _build_phased_program(
+            kind, items, seed=seed, variant=variant, register_soft=register_soft
+        )
+
+    def reference(items, seed):
+        return phased_reference(kind, items, seed=seed)
+
+    return Workload(
+        name=kind,
+        circuits_per_process=2,
+        paper_items=PAPER_ITEMS,
+        min_items=4,
+        builder=builder,
+        reference=reference,
+    )
+
+
+def make_phases_workload() -> Workload:
+    return _make_workload("phases")
+
+
+def make_burst_workload() -> Workload:
+    return _make_workload("burst")

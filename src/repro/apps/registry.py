@@ -6,11 +6,13 @@ from ..errors import WorkloadError
 from .alphablend import make_alpha_workload
 from .echo import make_echo_workload
 from .hashmix import make_hash_workload
+from .phased import make_burst_workload, make_phases_workload
 from .twofish import make_twofish_workload
 from .workloads import Workload
 
-#: The three applications of §5.1 plus the circuit-free hash kernel used
-#: by the synthesis experiments, keyed by their figure-legend names.
+#: The three applications of §5.1, the circuit-free hash kernel used by
+#: the synthesis experiments, and the phase-changing/bursty pair used by
+#: the prefetch experiments, keyed by their figure-legend names.
 WORKLOADS: dict[str, Workload] = {
     workload.name: workload
     for workload in (
@@ -18,13 +20,15 @@ WORKLOADS: dict[str, Workload] = {
         make_alpha_workload(),
         make_twofish_workload(),
         make_hash_workload(),
+        make_phases_workload(),
+        make_burst_workload(),
     )
 }
 
 
 def get_workload(name: str) -> Workload:
     """Look up a workload by name (``echo``, ``alpha``, ``twofish``,
-    ``hash``)."""
+    ``hash``, ``phases``, ``burst``)."""
     try:
         return WORKLOADS[name]
     except KeyError:

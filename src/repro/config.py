@@ -28,6 +28,7 @@ from typing import Any
 
 from .errors import ConfigurationError
 from .faults import FaultPlan
+from .prefetch import PrefetchPlan
 from .synth.plan import SynthesisPlan
 
 #: Configuration bytes for a full 500-CLB PFU static image (paper, §4.1).
@@ -163,6 +164,12 @@ class MachineConfig:
     #: keys, checkpoints and figures are byte-identical to a build that
     #: predates synthesis.
     synthesis: SynthesisPlan | None = None
+
+    #: Speculative configuration prefetch plan (see :mod:`repro.prefetch`).
+    #: ``None`` — the default — builds no predictor or transfer engine:
+    #: spec keys, checkpoints and figures are byte-identical to a build
+    #: that predates prefetching.
+    prefetch: PrefetchPlan | None = None
 
     # ---- simulator implementation knobs ----------------------------------
     #: CPU interpreter tier (``block`` | ``closure`` | ``step``).  Purely a

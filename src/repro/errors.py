@@ -87,6 +87,10 @@ class SynthesisError(ReproError):
     """The custom-instruction synthesiser was misconfigured or misused."""
 
 
+class PrefetchError(ReproError):
+    """The speculative configuration prefetcher was misconfigured."""
+
+
 class WorkloadError(ReproError):
     """A workload/application was constructed with invalid parameters."""
 

@@ -21,6 +21,17 @@ handler implements the policy side of Figure 1:
 
 All CIS work is charged in cycles; configuration movement dominates, as
 the paper intends (54 KB static vs. a few hundred bytes of state).
+
+When a :class:`~repro.prefetch.PrefetchPlan` is active the CIS also owns
+the *predictive* layer: a :class:`~repro.kernel.predict.TransitionModel`
+fed from the trace bus and a
+:class:`~repro.kernel.predict.TransferEngine` that streams the
+predicted-next bitstream into a free or victim PFU during cycles the
+configuration bus would otherwise idle.  Demand transfers keep absolute
+bus priority (every demand byte pushes the speculative stream back), the
+engine's target PFU is pinned against eviction while the transfer is in
+flight, and mispredicts cancel deterministically — so with the plan off
+the accounting below is untouched.
 """
 
 from __future__ import annotations
@@ -36,6 +47,7 @@ from ..errors import KernelError, ProcessKilled
 from ..fabric.validate import SecurityPolicy, validate_bitstream
 from ..trace.bus import TraceBus
 from ..trace.counters import CISStats  # re-export: the derived view
+from .predict import TransferEngine, TransitionModel
 from .process import Process, Registration
 from .replacement import ReplacementPolicy
 
@@ -62,13 +74,20 @@ class CustomInstructionScheduler:
     trace: TraceBus = field(default_factory=TraceBus)
     #: Fault injector when a :class:`~repro.faults.FaultPlan` is active.
     injector: "FaultInjector | None" = None
+    #: Transition model when a :class:`~repro.prefetch.PrefetchPlan` is
+    #: active; ``None`` keeps the CIS purely reactive (pre-prefetch).
+    predictor: TransitionModel | None = None
     security: SecurityPolicy = field(init=False)
+    #: The speculative transfer engine, built iff a predictor is present.
+    engine: TransferEngine | None = field(init=False, default=None)
 
     def __post_init__(self) -> None:
         self.security = SecurityPolicy(
             max_clbs=self.config.pfu_clbs,
             max_state_words=64,
         )
+        if self.predictor is not None:
+            self.engine = TransferEngine()
 
     @property
     def stats(self) -> CISStats:
@@ -186,14 +205,62 @@ class CustomInstructionScheduler:
             self.trace.cis_charge(cycles)
             self._kill(process, f"unregistered CID {cid}")
         key = IDTuple(pid=process.pid, cid=cid)
+        engine = self.engine
+        if engine is not None:
+            # Install any speculative transfer that completed before this
+            # fault; if it was for this very CID the mapping branch below
+            # turns a full demand stall into a TLB update.
+            self._prefetch_settle()
 
         # Mapping fault: loaded, but the tuple fell out of the TLB (§4.2).
         if registration.pfu_index is not None:
             self.coprocessor.dispatch.map_hardware(key, registration.pfu_index)
             cycles += self.config.tlb_update_cycles
             self.trace.mapping_fault(process.pid, cid)
+            if registration.prefetched:
+                # The prefetch fully hid the transfer: the stall shrank
+                # from a configuration load to a mapping fault.
+                self.trace.prefetch_hit(
+                    process.pid, cid, registration.pfu_index,
+                    registration.prefetched,
+                )
+                registration.prefetched = 0
+            self._maybe_prefetch(process, cid, cycles)
             self.trace.cis_charge(cycles)
             return cycles, "mapping"
+
+        # Partial hit: the predicted transfer for this CID is still in
+        # flight — wait out the remainder instead of paying the full
+        # transfer, then map as a normal load would.
+        if engine is not None and engine.matches(process.pid, cid):
+            entry = engine.cancel()
+            pfu = self.coprocessor.pfus.pfu(entry["pfu"])
+            if not pfu.configured and not self._quarantined(pfu.index):
+                remaining = max(0, entry["end"] - self.trace.now())
+                cycles += remaining
+                cycles += self._install_prefetched(pfu, registration, key)
+                self.trace.prefetch_hit(
+                    process.pid, cid, pfu.index,
+                    max(0, entry["total"] - remaining),
+                )
+                self.trace.load_fault(process.pid, cid)
+                self._maybe_prefetch(process, cid, cycles)
+                self.trace.cis_charge(cycles)
+                return cycles, "prefetch"
+            # The target was lost mid-flight (quarantine); fall through
+            # to the reactive paths.
+            self.trace.prefetch_cancelled(
+                process.pid, entry["cid"], entry["pfu"], "demand"
+            )
+        elif engine is not None and engine.entry is not None and (
+            engine.entry["pid"] == process.pid
+        ):
+            # The process went somewhere the model did not predict:
+            # abandon the speculative stream deterministically.
+            entry = engine.cancel()
+            self.trace.prefetch_cancelled(
+                process.pid, entry["cid"], entry["pfu"], "mispredict"
+            )
 
         # Free PFU available?  A free slot always beats sharing: paying
         # one static transfer now is cheaper than serialising processes
@@ -203,6 +270,7 @@ class CustomInstructionScheduler:
             cycles += self.config.cis_decision_cycles
             cycles += self._load_into(free, registration, key)
             self.trace.load_fault(process.pid, cid)
+            self._maybe_prefetch(process, cid, cycles)
             self.trace.cis_charge(cycles)
             return cycles, "load"
 
@@ -213,6 +281,7 @@ class CustomInstructionScheduler:
             shared = self._find_shareable(registration)
             if shared is not None:
                 cycles += self._share_pfu(shared, registration, key)
+                self._maybe_prefetch(process, cid, cycles)
                 self.trace.cis_charge(cycles)
                 return cycles, "share"
 
@@ -230,11 +299,27 @@ class CustomInstructionScheduler:
             return cycles, "soft"
 
         # Array full: evict a victim and load.  Quarantined PFUs are not
-        # eviction candidates — once every PFU is quarantined the machine
-        # has no serviceable fabric left, so degrade to the software
-        # alternative if one exists and kill otherwise.
+        # eviction candidates, and neither is a PFU pinned by an
+        # in-flight speculative transfer — but demand always wins over
+        # speculation: if pins leave nothing evictable, the prefetch is
+        # cancelled and its target reclaimed for a plain demand load.
+        # Once every PFU is quarantined the machine has no serviceable
+        # fabric left, so degrade to the software alternative if one
+        # exists and kill otherwise.
         cycles += self.policy.decision_cycles(self.config)
         candidates = self._victim_candidates()
+        if not candidates and engine is not None and engine.entry is not None:
+            entry = engine.cancel()
+            self.trace.prefetch_cancelled(
+                process.pid, entry["cid"], entry["pfu"], "demand"
+            )
+            free = self._pick_free_pfu(registration)
+            if free is not None:
+                cycles += self._load_into(free, registration, key)
+                self.trace.load_fault(process.pid, cid)
+                self.trace.cis_charge(cycles)
+                return cycles, "load"
+            candidates = self._victim_candidates()
         if not candidates:
             if registration.soft_address is not None:
                 self.coprocessor.dispatch.map_software(
@@ -257,6 +342,7 @@ class CustomInstructionScheduler:
         cycles += self._evict(victim)
         cycles += self._load_into(victim, registration, key)
         self.trace.load_fault(process.pid, cid)
+        self._maybe_prefetch(process, cid, cycles)
         self.trace.cis_charge(cycles)
         return cycles, "swap"
 
@@ -266,8 +352,25 @@ class CustomInstructionScheduler:
     def process_exit(self, process: Process) -> int:
         """Release a dead process's circuits and mappings; returns cycles."""
         cycles = self.config.cis_decision_cycles
+        if self.engine is not None and self.engine.entry is not None and (
+            self.engine.entry["pid"] == process.pid
+        ):
+            entry = self.engine.cancel()
+            self.trace.prefetch_cancelled(
+                process.pid, entry["cid"], entry["pfu"], "exit"
+            )
+        if self.predictor is not None:
+            self.predictor.forget(process.pid)
         freed: list[int] = []
         for registration in process.registrations.values():
+            if registration.prefetched:
+                # Installed speculatively but never issued before exit.
+                self.trace.prefetch_wasted(
+                    process.pid, registration.cid,
+                    registration.pfu_index
+                    if registration.pfu_index is not None else -1,
+                )
+                registration.prefetched = 0
             if registration.pfu_index is not None:
                 pfu_index = registration.pfu_index
                 name = registration.instance.bitstream.name
@@ -291,13 +394,47 @@ class CustomInstructionScheduler:
             and pfu_index in self.injector.quarantined
         )
 
+    def _pinned(self, pfu_index: int) -> bool:
+        """True while an in-flight speculative transfer targets the PFU."""
+        return self.engine is not None and self.engine.pinned(pfu_index)
+
     def _victim_candidates(self) -> list[PFU]:
-        """Configured PFUs the replacement policy may evict from."""
-        return [
+        """Configured PFUs the replacement policy may evict from.
+
+        Quarantined PFUs and PFUs pinned by an in-flight prefetch are
+        never candidates.  With a predictor active, residents predicted
+        to be a live process's next circuit are preferred *against*
+        eviction — but only as a soft filter: when every candidate is
+        predicted-hot the unfiltered set is used, so demand loads never
+        starve on account of predictions.
+        """
+        candidates = [
             pfu
             for pfu in self.coprocessor.pfus.configured_pfus()
             if not self._quarantined(pfu.index)
+            and not self._pinned(pfu.index)
         ]
+        if self.predictor is not None and candidates:
+            cold = [
+                pfu for pfu in candidates if not self._predicted_hot(pfu)
+            ]
+            if cold:
+                return cold
+        return candidates
+
+    def _predicted_hot(self, pfu: PFU) -> bool:
+        """Is the resident circuit its owner's predicted-next issue?"""
+        instance = pfu.instance
+        if instance is None:
+            return False
+        owner = self.processes.get(instance.pid)
+        if owner is None or not owner.alive:
+            return False
+        hot = self.predictor.predicted(instance.pid)
+        if hot is None:
+            return False
+        registration = owner.registration(hot)
+        return registration is not None and registration.instance is instance
 
     def _pick_free_pfu(self, registration: Registration) -> PFU | None:
         """Choose a free PFU, preferring a resident static image when the
@@ -306,6 +443,7 @@ class CustomInstructionScheduler:
             pfu
             for pfu in self.coprocessor.pfus.free_pfus()
             if not self._quarantined(pfu.index)
+            and not self._pinned(pfu.index)
         ]
         if not free:
             return None
@@ -319,6 +457,22 @@ class CustomInstructionScheduler:
                     return pfu
         return free[0]
 
+    def _charged_transfer(self, nbytes: int) -> int:
+        """Cycles to move ``nbytes`` over the configuration port as
+        *demand* traffic.
+
+        The single point every demand-side transfer charge flows through
+        (`_load_into`, `_evict`, scrub repairs, quarantine saves).  The
+        bus is time-shared with absolute demand priority: when a
+        speculative transfer is in flight, it stalls for exactly these
+        cycles (see :meth:`TransferEngine.demand_traffic`), so demand
+        accounting is identical with prefetch on, off, or absent.
+        """
+        cycles = self.config.transfer_cycles(nbytes)
+        if self.engine is not None:
+            self.engine.demand_traffic(cycles)
+        return cycles
+
     def _load_into(
         self,
         pfu: PFU,
@@ -331,7 +485,7 @@ class CustomInstructionScheduler:
             pfu.index, registration.instance, reuse_static=reuse_static
         )
         cycles = (
-            self.config.transfer_cycles(moved) + self.config.tlb_update_cycles
+            self._charged_transfer(moved) + self.config.tlb_update_cycles
         )
         injector = self.injector
         if injector is not None:
@@ -351,7 +505,7 @@ class CustomInstructionScheduler:
                 )
                 retry_cost = (
                     self.config.cis_decision_cycles * attempt
-                    + self.config.transfer_cycles(moved)
+                    + self._charged_transfer(moved)
                 )
                 cycles += retry_cost
                 self.trace.fault_recovered(
@@ -395,7 +549,14 @@ class CustomInstructionScheduler:
                 if registration.instance is instance:
                     registration.pfu_index = None
                     registration.evictions += 1
-        return self.config.transfer_cycles(state_bytes)
+                    if registration.prefetched:
+                        # A completed prefetch evicted before first use
+                        # moved 54 KB for nothing.
+                        self.trace.prefetch_wasted(
+                            instance.pid, registration.cid, victim.index
+                        )
+                        registration.prefetched = 0
+        return self._charged_transfer(state_bytes)
 
     def _find_shareable(self, registration: Registration) -> PFU | None:
         wanted = registration.instance.spec.name
@@ -421,7 +582,9 @@ class CustomInstructionScheduler:
     def _promote_into(self, pfu_index: int) -> int:
         """Promote a software-deferred circuit into a freed PFU (§5.1.3)."""
         pfu = self.coprocessor.pfus.pfu(pfu_index)
-        if pfu.configured or self._quarantined(pfu_index):
+        if pfu.configured or self._quarantined(pfu_index) or (
+            self._pinned(pfu_index)
+        ):
             return 0
         for process in self.processes.values():
             if not process.alive:
@@ -442,6 +605,147 @@ class CustomInstructionScheduler:
                 self.trace.circuit_promote(process.pid, registration.cid, pfu_index)
                 return cycles
         return 0
+
+    # ------------------------------------------------------------------
+    # speculative prefetch (see repro.prefetch)
+    # ------------------------------------------------------------------
+    def prefetch_tick(self, process: Process | None = None) -> int:
+        """Quantum-boundary hook of the transfer engine; returns 0.
+
+        Settles a completed speculative transfer and — when the bus is
+        idle and ``process`` (the process whose quantum just ended) is
+        predicted to switch circuits soon — starts streaming its next
+        bitstream.  Both cost the running process nothing: the bytes
+        move during bus cycles nobody is waiting on.
+        """
+        if self.engine is None:
+            return 0
+        self._prefetch_settle()
+        if process is not None and process.alive:
+            cid = self.predictor.last_cid(process.pid)
+            if cid is not None:
+                self._maybe_prefetch(process, cid, 0)
+        return 0
+
+    def _prefetch_settle(self) -> None:
+        """Install the in-flight transfer if its stream has completed.
+
+        The circuit lands configured but *unmapped*: the owner's next
+        issue takes a mapping fault (a TLB update) instead of a full
+        configuration load.  A target invalidated mid-flight (owner
+        died, registration satisfied elsewhere, PFU occupied or
+        quarantined) is dropped deterministically.
+        """
+        engine = self.engine
+        if engine.entry is None or engine.remaining(self.trace.now()) > 0:
+            return
+        entry = engine.cancel()
+        process = self.processes.get(entry["pid"])
+        if process is None or not process.alive:
+            return
+        registration = process.registration(entry["cid"])
+        if registration is None or registration.pfu_index is not None:
+            return
+        pfu = self.coprocessor.pfus.pfu(entry["pfu"])
+        if pfu.configured or self._quarantined(pfu.index):
+            self.trace.prefetch_cancelled(
+                entry["pid"], entry["cid"], entry["pfu"], "demand"
+            )
+            return
+        key = IDTuple(pid=entry["pid"], cid=entry["cid"])
+        self._install_prefetched(pfu, registration, key, map_now=False)
+        registration.prefetched = entry["total"]
+
+    def _install_prefetched(
+        self,
+        pfu: PFU,
+        registration: Registration,
+        key: IDTuple,
+        map_now: bool = True,
+    ) -> int:
+        """Put a speculatively-streamed circuit onto its PFU.
+
+        Mirrors :meth:`_load_into` minus the transfer charge (the bytes
+        moved on idle bus cycles) and minus the injector retry loop (a
+        failed speculative checksum would simply re-stream; modelling it
+        as free keeps the injector's RNG stream demand-only).  Returns
+        the TLB-update cycles when mapping now, else 0.
+        """
+        moved = self.coprocessor.load_circuit(pfu.index, registration.instance)
+        state_bytes = registration.instance.bitstream.state_bytes
+        registration.pfu_index = pfu.index
+        registration.soft_mapped = False
+        registration.loads += 1
+        self.trace.circuit_load(
+            key.pid,
+            key.cid,
+            pfu.index,
+            registration.instance.bitstream.name,
+            max(0, moved - state_bytes),
+            min(moved, state_bytes),
+        )
+        if not map_now:
+            return 0
+        self.coprocessor.dispatch.map_hardware(key, pfu.index)
+        return self.config.tlb_update_cycles
+
+    def _maybe_prefetch(self, process: Process, cid: int, charged: int) -> None:
+        """After resolving a fault on ``cid``, consider streaming the
+        predicted-next bitstream during upcoming idle bus cycles.
+
+        ``charged`` is the cycle cost of the fault just handled: the bus
+        is busy with demand traffic for that long, so the speculative
+        stream starts once it drains.  Issuing is free for every process
+        — the whole point is to spend cycles nobody is waiting on.
+        """
+        engine = self.engine
+        if engine is None or engine.entry is not None:
+            return
+        if not self.predictor.due(process.pid, cid):
+            # Mid-run: the process will re-dispatch this same circuit for
+            # a while yet, so streaming its successor now would only
+            # steal a PFU someone is using (see TransitionModel.due).
+            return
+        prediction = self.predictor.predict_next(process.pid, cid)
+        if prediction is None:
+            return
+        next_cid = prediction[0]
+        registration = process.registration(next_cid)
+        if registration is None or registration.pfu_index is not None or (
+            registration.soft_mapped
+        ):
+            return
+        total = self.config.transfer_cycles(
+            registration.instance.bitstream.static_bytes
+            + registration.instance.bitstream.state_bytes
+        )
+        target = self._pick_free_pfu(registration)
+        if target is None:
+            if not self.predictor.plan.steal_victims:
+                return
+            current = process.registration(cid)
+            candidates = [
+                pfu
+                for pfu in self._victim_candidates()
+                if pfu.instance is not None
+                and not pfu.instance.busy
+                and not (
+                    current is not None
+                    and pfu.instance is current.instance
+                )
+            ]
+            if not candidates:
+                return
+            target = self.policy.choose(candidates, self.coprocessor.pfus)
+            # The victim's state moves out over the same shared bus
+            # before the speculative stream starts; fold it into the
+            # transfer total so nobody is charged for speculation.
+            total += self._evict(target)
+        engine.start(
+            process.pid, next_cid, target.index, total,
+            self.trace.now() + charged,
+        )
+        self.trace.prefetch_issued(process.pid, next_cid, target.index, total)
 
     # ------------------------------------------------------------------
     # fabric fault recovery (see repro.faults)
@@ -586,7 +890,7 @@ class CustomInstructionScheduler:
         cycles = self.config.cis_decision_cycles
         region = self.coprocessor.array.region(pfu_index)
         if region.resident is not None:
-            cycles += self.config.transfer_cycles(region.resident.static_bytes)
+            cycles += self._charged_transfer(region.resident.static_bytes)
         if self.injector is not None:
             self.injector.clear_region(pfu_index)
         return cycles
@@ -595,6 +899,13 @@ class CustomInstructionScheduler:
         """Retire a PFU from service; its circuit (if any) is saved off
         so replacement can place it elsewhere on the next issue."""
         cycles = self.config.cis_decision_cycles
+        if self._pinned(pfu_index):
+            # The fabric under the in-flight speculative stream just
+            # went bad; abandon the transfer before retiring the PFU.
+            entry = self.engine.cancel()
+            self.trace.prefetch_cancelled(
+                entry["pid"], entry["cid"], entry["pfu"], "demand"
+            )
         pfu = self.coprocessor.pfus.pfu(pfu_index)
         pid = -1
         if pfu.configured:
@@ -604,7 +915,7 @@ class CustomInstructionScheduler:
             __, state_bytes = self.coprocessor.unload_circuit(
                 pfu_index, keep_static=False
             )
-            cycles += self.config.transfer_cycles(state_bytes)
+            cycles += self._charged_transfer(state_bytes)
             self.trace.circuit_evict(
                 pid, pfu_index, instance.bitstream.name, state_bytes
             )
@@ -613,6 +924,11 @@ class CustomInstructionScheduler:
                     if registration.instance is instance:
                         registration.pfu_index = None
                         registration.evictions += 1
+                        if registration.prefetched:
+                            self.trace.prefetch_wasted(
+                                pid, registration.cid, pfu_index
+                            )
+                            registration.prefetched = 0
         else:
             region = self.coprocessor.array.region(pfu_index)
             if region.resident is not None:

@@ -27,6 +27,7 @@ from ..faults import FaultInjector
 from ..trace.bus import TraceBus
 from ..trace.counters import KernelStats  # re-export: the derived view
 from .cis import CustomInstructionScheduler
+from .predict import TransitionModel
 from .process import Process, ProcessState, create_process
 from .replacement import ReplacementPolicy, make_policy
 from .scheduler import RoundRobinScheduler
@@ -64,6 +65,16 @@ class Porsche:
             else None
         )
         self.coprocessor.injector = self.injector
+        self.predictor = (
+            TransitionModel(config.prefetch)
+            if config.prefetch is not None
+            else None
+        )
+        if self.predictor is not None:
+            # The model learns from every dispatch resolution on the
+            # trace bus — per-process program order, identical across
+            # execution tiers.
+            self.trace.bind_predictor(self.predictor.observe)
         self.cis = CustomInstructionScheduler(
             config=config,
             coprocessor=self.coprocessor,
@@ -71,6 +82,7 @@ class Porsche:
             processes=self.processes,
             trace=self.trace,
             injector=self.injector,
+            predictor=self.predictor,
         )
         self.clock = 0
         self.stats = self.trace.counters.kernel
@@ -150,6 +162,12 @@ class Porsche:
             budget -= self._synth_tick(process)
             if budget <= 0:
                 budget = 1
+        if self.predictor is not None:
+            # Settle any speculative transfer whose stream completed
+            # during the previous quantum, and consider streaming the
+            # incoming process's predicted-next bitstream through the
+            # otherwise-idle bus; charges nothing either way.
+            self.cis.prefetch_tick(process)
         while budget > 0 and process.alive:
             try:
                 result = process.cpu.run(budget)
@@ -439,6 +457,13 @@ class Porsche:
         # injection-free machines keep their pre-fault byte layout.
         if self.injector is not None:
             state["faults"] = self.injector.snapshot()
+        # Same discipline for the prefetcher: model + in-flight transfer
+        # ride along only when a prefetch plan is active.
+        if self.predictor is not None:
+            state["prefetch"] = {
+                "model": self.predictor.snapshot(),
+                "engine": self.cis.engine.snapshot(),
+            }
         return state
 
     def restore(self, state: dict) -> None:
@@ -475,6 +500,9 @@ class Porsche:
         self.trace.counters.restore(state["counters"])
         if self.injector is not None:
             self.injector.restore(state["faults"])
+        if self.predictor is not None:
+            self.predictor.restore(state["prefetch"]["model"])
+            self.cis.engine.restore(state["prefetch"]["engine"])
         self.clock = state["clock"]
         self._next_pid = state["next_pid"]
         last = state["last_running"]

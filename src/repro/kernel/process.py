@@ -56,6 +56,11 @@ class Registration:
     loads: int = 0
     evictions: int = 0
     soft_mapped: bool = False
+    #: Overlap cycles banked by a completed-but-unused prefetch: set when
+    #: the transfer engine installs this circuit speculatively, cleared
+    #: (and credited as a hit, or written off as wasted) at first use or
+    #: eviction.  Zero whenever prefetching is off.
+    prefetched: int = 0
     #: For kernel-synthesised circuits (no circuit-table entry): the
     #: mined window descriptor, enough for a checkpoint to re-derive the
     #: spec and program rewrite deterministically (see
@@ -81,6 +86,9 @@ class Registration:
             # Absent when unused: synthesis-free checkpoints keep their
             # pre-synthesis byte layout.
             snap["synth"] = dict(self.synth)
+        if self.prefetched:
+            # Same discipline: prefetch-free checkpoints are byte-stable.
+            snap["prefetched"] = self.prefetched
         return snap
 
 
@@ -227,6 +235,7 @@ class Process:
                 loads=entry["loads"],
                 evictions=entry["evictions"],
                 soft_mapped=entry["soft_mapped"],
+                prefetched=entry.get("prefetched", 0),
                 synth=dict(synth) if synth is not None else None,
             )
             self.registrations[registration.cid] = registration

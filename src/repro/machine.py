@@ -62,6 +62,7 @@ CAPTURE_BASE_QUANTA = 64
 
 def _spec_to_dict(spec: "ExperimentSpec") -> dict:
     from .faults import plan_to_dict
+    from .prefetch import plan_to_dict as prefetch_plan_to_dict
     from .synth.plan import plan_to_dict as synth_plan_to_dict
 
     payload = asdict(spec)
@@ -78,6 +79,12 @@ def _spec_to_dict(spec: "ExperimentSpec") -> dict:
         payload.pop("synthesis", None)
     else:
         payload["synthesis"] = synth_plan_to_dict(spec.synthesis)
+    if spec.prefetch is None:
+        # Same discipline: prefetch-free checkpoints keep their
+        # pre-prefetch byte layout.
+        payload.pop("prefetch", None)
+    else:
+        payload["prefetch"] = prefetch_plan_to_dict(spec.prefetch)
     return payload
 
 
@@ -94,6 +101,10 @@ def _spec_from_dict(payload: dict) -> "ExperimentSpec":
         from .synth.plan import plan_from_dict as synth_plan_from_dict
 
         fields["synthesis"] = synth_plan_from_dict(fields["synthesis"])
+    if fields.get("prefetch") is not None:
+        from .prefetch import plan_from_dict as prefetch_plan_from_dict
+
+        fields["prefetch"] = prefetch_plan_from_dict(fields["prefetch"])
     return ExperimentSpec(**fields)
 
 
@@ -364,6 +375,9 @@ class Machine:
                 killed=killed,
                 wrong_outputs=wrong_outputs,
             )
+        prefetch: dict = {}
+        if spec.prefetch is not None:
+            prefetch = self._prefetch_metrics()
 
         return RunOutcome(
             spec=spec,
@@ -377,7 +391,24 @@ class Machine:
                 for p in processes
             ],
             faults=faults,
+            prefetch=prefetch,
         )
+
+    def _prefetch_metrics(self) -> dict:
+        """Speculative-prefetch effectiveness for a run with a plan."""
+        stats = self.trace.counters.prefetch
+        loads = self.kernel.cis.stats.loads
+        return {
+            "issued": stats.issued,
+            "hits": stats.hits,
+            "wasted": stats.wasted,
+            "cancelled": dict(sorted(stats.cancelled.items())),
+            "overlap_cycles": stats.overlap_cycles,
+            # Of the predictions acted on, how many were used.
+            "accuracy_pct": stats.accuracy_pct,
+            # Of all circuit loads, how many were serviced speculatively.
+            "coverage_pct": (100 * stats.hits // loads) if loads else 0,
+        }
 
     def _fault_metrics(
         self, makespan: int, killed: int, wrong_outputs: int

@@ -1,0 +1,78 @@
+"""Prefetch plan: the knobs of the speculative configuration prefetcher.
+
+A :class:`PrefetchPlan` switches on the predictive layer over the CIS:
+the kernel learns per-process CID-transition statistics from the trace
+bus and streams the predicted-next bitstream into a free (or victim)
+PFU during cycles the configuration bus would otherwise idle, so a
+correct prediction turns a full-transfer demand stall into a (possibly
+partial) overlap.  The idea follows Nassar et al., "Supporting Dynamic
+Control-Flow Execution for Runtime Reconfigurable Processors": the
+fault handler stays the backstop, prediction merely hides its latency.
+
+The plan is deliberately a frozen dataclass so it can ride inside
+:class:`repro.config.MachineConfig` and ``ExperimentSpec`` and
+participate in spec keys, checkpoints and the on-disk cache.  This
+module must stay import-light (``repro.config`` imports it): only the
+error hierarchy may be imported from the package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from .errors import PrefetchError
+
+__all__ = ["PrefetchPlan", "plan_to_dict", "plan_from_dict"]
+
+
+@dataclass(frozen=True)
+class PrefetchPlan:
+    """Configuration of the predictive CIS layer.
+
+    All knobs are integers and all confidence arithmetic is integer
+    percentages, so a plan fully determines every prefetch decision for
+    a given event stream — across execution tiers, worker processes and
+    checkpoint/resume.
+    """
+
+    #: Minimum confidence (integer percent of observed transitions out
+    #: of a CID that went to the predicted successor) before a transfer
+    #: is speculatively issued.
+    min_confidence_pct: int = 60
+
+    #: Observed transitions out of a CID before its statistics are
+    #: trusted at all (a single sample is always 100% confident).
+    min_observations: int = 4
+
+    #: When True the transfer engine may evict an idle victim circuit to
+    #: make room for a predicted-next bitstream; when False it only uses
+    #: PFUs that are already free.
+    steal_victims: bool = True
+
+    #: How early before a circuit's learned mean run length a switch
+    #: counts as *due* (integer percent of the mean).  0 arms the
+    #: prefetcher only at the mean itself — a one-dispatch window that
+    #: quantum-boundary sampling mostly misses; 25 opens the window over
+    #: the last quarter of a typical run, early enough to stream the
+    #: successor but late enough not to steal an in-use PFU mid-phase.
+    due_margin_pct: int = 25
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.min_confidence_pct <= 100:
+            raise PrefetchError(
+                "min_confidence_pct must be within [1, 100]"
+            )
+        if self.min_observations < 1:
+            raise PrefetchError("min_observations must be >= 1")
+        if not 0 <= self.due_margin_pct <= 99:
+            raise PrefetchError("due_margin_pct must be within [0, 99]")
+
+
+def plan_to_dict(plan: PrefetchPlan) -> dict:
+    """Serialise for spec keys, checkpoints and the daemon protocol."""
+    return asdict(plan)
+
+
+def plan_from_dict(data: dict) -> PrefetchPlan:
+    """Inverse of :func:`plan_to_dict` (validates via ``__post_init__``)."""
+    return PrefetchPlan(**data)

@@ -13,6 +13,10 @@ Commands:
 * ``synth`` — profiler-driven custom-instruction synthesis: report the
   mined candidate windows for a workload and compare makespans with
   synthesis off vs. on (``--sweep`` runs the fig2-style sweep);
+* ``prefetch`` — speculative configuration prefetch: compare the
+  reactive CIS against the predictive CIS with the asynchronous
+  transfer engine (``--sweep`` runs the fig2-style sweep over the
+  phase-changing and bursty workloads);
 * ``serve`` — the long-lived multi-tenant simulation daemon;
 * ``submit`` — one point through a running daemon, events streamed;
 * ``cache`` — result/checkpoint store stats and age-based pruning.
@@ -37,7 +41,9 @@ import time
 from ..apps.registry import WORKLOADS
 from ..errors import ExperimentError
 from ..machine import Machine
+from ..prefetch import PrefetchPlan
 from ..synth.plan import SynthesisPlan
+from ..trace.counters import PrefetchStats
 from ..trace.sinks import JsonlSink, RingBufferSink
 from ..trace.timeline import TimelineAggregator
 from .campaign import CampaignConfig, render_campaign, run_campaign
@@ -47,6 +53,7 @@ from .figures import (
     contention_knees,
     figure2,
     figure3,
+    prefetch_sweep,
     speedup_table,
     synthesis_sweep,
 )
@@ -376,6 +383,11 @@ def main(argv: list[str] | None = None) -> int:
         "--events", type=int, default=8,
         help="show the last N raw events (default 8; 0 disables)",
     )
+    pt.add_argument(
+        "--prefetch", action="store_true",
+        help="enable the speculative configuration prefetcher (default "
+             "plan) and add its hit/waste statistics to the report",
+    )
 
     pn = sub.add_parser(
         "synth",
@@ -409,6 +421,47 @@ def main(argv: list[str] | None = None) -> int:
     pn.add_argument(
         "--sweep", action="store_true",
         help="run the fig2-style synthesis on/off sweep over "
+             "1..--max-instances instead of a single comparison point",
+    )
+
+    pp = sub.add_parser(
+        "prefetch",
+        help="speculative configuration prefetch: compare the reactive "
+             "CIS against the predictive CIS with the asynchronous "
+             "transfer engine (--sweep runs the full fig2-style sweep "
+             "over the phase-changing and bursty workloads)",
+    )
+    _add_common(pp)
+    pp.add_argument(
+        "workload", nargs="?", default=None, choices=WORKLOAD_CHOICES,
+        help="workload to compare on (default: phases for the single "
+             "comparison, phases+burst for --sweep)",
+    )
+    pp.add_argument("--instances", type=int, default=5)
+    pp.add_argument("--quantum-ms", type=float, default=1.0)
+    pp.add_argument(
+        "--min-confidence", type=int, default=None, metavar="PCT",
+        help="confidence gate for issuing a speculative transfer "
+             "(default: the plan's built-in threshold)",
+    )
+    pp.add_argument(
+        "--min-observations", type=int, default=None, metavar="N",
+        help="observed transitions out of a CID before its statistics "
+             "are trusted (default: plan value)",
+    )
+    pp.add_argument(
+        "--due-margin", type=int, default=None, metavar="PCT",
+        help="how early before the learned mean run length a circuit "
+             "switch counts as due (default: plan value)",
+    )
+    pp.add_argument(
+        "--no-steal", action="store_true",
+        help="restrict speculative transfers to already-free PFUs "
+             "(never evict a victim to make room)",
+    )
+    pp.add_argument(
+        "--sweep", action="store_true",
+        help="run the fig2-style prefetch on/off sweep over "
              "1..--max-instances instead of a single comparison point",
     )
 
@@ -629,6 +682,7 @@ def main(argv: list[str] | None = None) -> int:
             soft=args.soft,
             scale=args.scale,
             seed=args.seed,
+            prefetch=PrefetchPlan() if args.prefetch else None,
         )
         timeline = TimelineAggregator()
         ring = RingBufferSink(capacity=max(args.events, 1))
@@ -643,10 +697,21 @@ def main(argv: list[str] | None = None) -> int:
             if jsonl is not None:
                 jsonl.close()
         timeline.close(outcome.makespan)
+        prefetch_stats = None
+        if outcome.prefetch:
+            prefetch_stats = PrefetchStats(
+                issued=outcome.prefetch["issued"],
+                hits=outcome.prefetch["hits"],
+                wasted=outcome.prefetch["wasted"],
+                cancelled=dict(outcome.prefetch["cancelled"]),
+                overlap_cycles=outcome.prefetch["overlap_cycles"],
+            )
         print(f"workload      : {spec.workload} x{spec.instances}")
         print(f"makespan      : {outcome.makespan:,} cycles")
         print()
-        print(render_trace(timeline, pfu_count=spec.pfu_count))
+        print(render_trace(
+            timeline, pfu_count=spec.pfu_count, prefetch=prefetch_stats
+        ))
         if args.events:
             print()
             print(f"Last {min(args.events, len(ring))} of "
@@ -731,6 +796,69 @@ def main(argv: list[str] | None = None) -> int:
             if outcome_on.makespan:
                 factor = outcome_off.makespan / outcome_on.makespan
                 print(f"speedup       : {factor:.3f}x")
+    elif args.command == "prefetch":
+        overrides = {}
+        if args.min_confidence is not None:
+            overrides["min_confidence_pct"] = args.min_confidence
+        if args.min_observations is not None:
+            overrides["min_observations"] = args.min_observations
+        if args.due_margin is not None:
+            overrides["due_margin_pct"] = args.due_margin
+        if args.no_steal:
+            overrides["steal_victims"] = False
+        plan = PrefetchPlan(**overrides)
+        if args.sweep:
+            runner = _make_runner(args)
+            figure = prefetch_sweep(
+                scale=args.scale,
+                instances=range(1, args.max_instances + 1),
+                workloads=(
+                    (args.workload,) if args.workload else ("phases", "burst")
+                ),
+                plan=plan,
+                seed=args.seed,
+                verify=args.verify,
+                progress=progress,
+                runner=runner,
+            )
+            _report_sweep(runner, args)
+            _finish_runner(runner)
+            _emit(figure, args)
+        else:
+            from dataclasses import replace
+
+            spec_on = ExperimentSpec(
+                workload=args.workload or "phases",
+                instances=args.instances,
+                quantum_ms=args.quantum_ms,
+                scale=args.scale,
+                seed=args.seed,
+                prefetch=plan,
+            )
+            outcome_off = run_experiment(
+                replace(spec_on, prefetch=None), verify=args.verify
+            )
+            outcome_on = run_experiment(spec_on, verify=args.verify)
+            stats = outcome_on.prefetch
+            cancelled = ",".join(
+                f"{reason}:{count}"
+                for reason, count in sorted(stats["cancelled"].items())
+            ) or "-"
+            print(f"workload      : {spec_on.workload} "
+                  f"x{spec_on.instances} @ {spec_on.quantum_ms:g}ms")
+            print(f"baseline      : {outcome_off.makespan:,} cycles")
+            print(f"prefetch      : {outcome_on.makespan:,} cycles")
+            if outcome_on.makespan:
+                factor = outcome_off.makespan / outcome_on.makespan
+                print(f"speedup       : {factor:.3f}x")
+            print(f"issued        : {stats['issued']:,} "
+                  f"(hits {stats['hits']:,}, wasted {stats['wasted']:,}, "
+                  f"cancelled {cancelled})")
+            print(f"accuracy      : {stats['accuracy_pct']}% of issues hit")
+            print(f"coverage      : {stats['coverage_pct']}% of loads "
+                  f"were prefetched")
+            print(f"overlap       : {stats['overlap_cycles']:,} demand "
+                  f"cycles hidden")
     elif args.command == "serve":
         cache = None if args.no_cache else ResultCache(default_cache_dir())
         checkpoints = (

@@ -24,6 +24,7 @@ from ..cpu.program import Program
 from ..errors import ExperimentError
 from ..faults import FaultPlan
 from ..kernel.porsche import KernelStats, Porsche
+from ..prefetch import PrefetchPlan
 from ..synth.plan import SynthesisPlan
 from ..machine import Machine, _spec_from_dict
 from .scaling import DEFAULT_SCALE, scaled_config
@@ -65,6 +66,9 @@ class ExperimentSpec:
     #: Custom-instruction synthesis plan (see :mod:`repro.synth`);
     #: ``None`` disables the synthesiser entirely.
     synthesis: SynthesisPlan | None = None
+    #: Speculative configuration prefetch plan (see
+    #: :mod:`repro.prefetch`); ``None`` disables prediction entirely.
+    prefetch: PrefetchPlan | None = None
 
     def __post_init__(self) -> None:
         if self.instances < 1:
@@ -113,6 +117,10 @@ class ExperimentSpec:
         if self.synthesis is None:
             payload.pop("synthesis", None)
             payload["config"].pop("synthesis", None)
+        # And for the prefetch plan: absent when disabled.
+        if self.prefetch is None:
+            payload.pop("prefetch", None)
+            payload["config"].pop("prefetch", None)
         blob = json.dumps(payload, sort_keys=True, default=repr)
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
@@ -130,6 +138,7 @@ class ExperimentSpec:
             seed=MachineConfig.seed if self.seed is None else self.seed,
             fault_plan=self.fault_plan,
             synthesis=self.synthesis,
+            prefetch=self.prefetch,
         )
         if self.architecture == "memmap":
             config = memmap_config(config)
@@ -155,6 +164,10 @@ class RunOutcome:
     #: fault plan (injected/detected/recovered counts, recovery latency,
     #: availability — see :meth:`repro.machine.Machine.outcome`).
     faults: dict = field(default_factory=dict)
+    #: Prefetch metrics, populated only when the spec carries a prefetch
+    #: plan (issued/hit/wasted/cancelled counts, accuracy, coverage,
+    #: overlap cycles — see :meth:`repro.machine.Machine.outcome`).
+    prefetch: dict = field(default_factory=dict)
 
     @property
     def mean_completion(self) -> float:
@@ -171,7 +184,7 @@ def outcome_to_dict(outcome: RunOutcome) -> dict:
     """
     from ..machine import spec_to_dict
 
-    return {
+    payload = {
         "spec": spec_to_dict(outcome.spec),
         "makespan": outcome.makespan,
         "completions": list(outcome.completions),
@@ -181,6 +194,11 @@ def outcome_to_dict(outcome: RunOutcome) -> dict:
         "process_cycles": [list(pair) for pair in outcome.process_cycles],
         "faults": outcome.faults,
     }
+    if outcome.prefetch:
+        # Absent when prefetching is off: the wire format is byte-stable
+        # for clients that predate the prefetcher.
+        payload["prefetch"] = outcome.prefetch
+    return payload
 
 
 def outcome_from_dict(payload: dict) -> RunOutcome:
@@ -196,6 +214,7 @@ def outcome_from_dict(payload: dict) -> RunOutcome:
         cis=dict(payload["cis"]),
         process_cycles=[tuple(pair) for pair in payload["process_cycles"]],
         faults=payload["faults"],
+        prefetch=payload.get("prefetch", {}),
     )
 
 

@@ -14,6 +14,7 @@ from typing import Callable
 
 from ..apps.registry import get_workload
 from ..apps.workloads import WorkloadVariant
+from ..prefetch import PrefetchPlan
 from ..synth.plan import SynthesisPlan
 from .experiment import ExperimentSpec
 from .runner import SweepRunner
@@ -272,6 +273,58 @@ def synthesis_sweep(
                                 scale=scale,
                                 seed=seed,
                                 synthesis=synthesis,
+                            ),
+                        )
+                    )
+    return _sweep(figure, specs, verify, progress, runner)
+
+
+def prefetch_sweep(
+    scale: float = DEFAULT_SCALE,
+    instances: Iterable[int] = range(1, 9),
+    workloads: Sequence[str] = ("phases", "burst"),
+    quanta: Sequence[float] = (10.0, 1.0),
+    plan: PrefetchPlan | None = None,
+    seed: int | None = None,
+    verify: bool = False,
+    progress: ProgressFn | None = None,
+    runner: SweepRunner | None = None,
+) -> FigureData:
+    """The fig2-style contention sweep: prefetch off vs. on.
+
+    The baseline series run with the purely reactive CIS; the prefetch
+    series run the same images with the predictive layer enabled, so the
+    only difference is speculation.  Defaults to the phase-changing and
+    bursty workloads — the circuit-switching patterns the transition
+    predictor was built for — on the same axes as Figure 2 (completion
+    cycles over concurrent instances, two quanta).
+    """
+    plan = plan if plan is not None else PrefetchPlan()
+    figure = FigureData(
+        name="prefetch",
+        title="Speculative Configuration Prefetch Test",
+        xlabel="No. concurrent process instances",
+        ylabel="Completion time in clock cycles",
+    )
+    specs = []
+    for workload in workloads:
+        for prefetch in (None, plan):
+            mode_text = "Baseline" if prefetch is None else "Prefetch"
+            for quantum_ms in quanta:
+                label = _label(workload, mode_text, quantum_ms)
+                for n in instances:
+                    specs.append(
+                        (
+                            label,
+                            ExperimentSpec(
+                                workload=workload,
+                                instances=n,
+                                quantum_ms=quantum_ms,
+                                policy="round_robin",
+                                soft=False,
+                                scale=scale,
+                                seed=seed,
+                                prefetch=prefetch,
                             ),
                         )
                     )

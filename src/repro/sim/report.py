@@ -7,6 +7,7 @@ and a rough ASCII plot shows the shapes (knees, orderings) at a glance.
 
 from __future__ import annotations
 
+from ..trace.counters import PrefetchStats
 from ..trace.timeline import TimelineAggregator
 from .series import FigureData
 
@@ -84,11 +85,14 @@ def render_trace(
     timeline: TimelineAggregator,
     pfu_count: int | None = None,
     bar_width: int = 40,
+    prefetch: "PrefetchStats | None" = None,
 ) -> str:
     """Render a run's timeline: cycle attribution + FPL occupancy.
 
     ``timeline`` must already be closed (:meth:`TimelineAggregator.close`)
-    so open residency segments have an end cycle.
+    so open residency segments have an end cycle.  ``prefetch`` — the
+    counter sink's :class:`~repro.trace.counters.PrefetchStats` — adds a
+    speculative-prefetch section when it saw any activity.
     """
     horizon = timeline.last_cycle
     lines = ["Per-process cycle attribution", "=" * 29]
@@ -115,6 +119,23 @@ def render_trace(
         f"dispatch: {d['hit']:,} hardware / {d['soft']:,} software / "
         f"{d['fault']:,} faulted"
     )
+
+    if prefetch is not None and not prefetch.empty:
+        cancelled = ",".join(
+            f"{reason}:{count}"
+            for reason, count in sorted(prefetch.cancelled.items())
+        ) or "-"
+        lines.append("")
+        lines.append("Speculative prefetch")
+        lines.append("=" * 20)
+        lines.append(
+            f"issued {prefetch.issued:,} | hits {prefetch.hits:,} | "
+            f"wasted {prefetch.wasted:,} | cancelled {cancelled}"
+        )
+        lines.append(
+            f"accuracy {prefetch.accuracy_pct}% | overlap "
+            f"{prefetch.overlap_cycles:,} cycles hidden"
+        )
 
     lines.append("")
     lines.append("FPL occupancy")

@@ -69,6 +69,7 @@ class TraceBus:
         "recording",
         "_sinks",
         "_now",
+        "_predictor",
         # Hot emitters are per-instance bindings (see _HOT_EMITTERS):
         # counter callbacks while no event sink is attached, the _*_full
         # recording variants otherwise.
@@ -89,12 +90,29 @@ class TraceBus:
         #: other layers may consult this to skip building event payloads.
         self.recording = False
         self._now: Callable[[], int] = _clock_unbound
+        #: Observer fed every dispatch resolution (the prefetcher's
+        #: transition model); ``None`` keeps the pre-prefetch fast path.
+        self._predictor: Callable[[int, int, str], None] | None = None
         self._rebind()
 
     # ---- wiring ------------------------------------------------------------
     def bind_clock(self, now: Callable[[], int]) -> None:
         """Provide the cycle source used to stamp recorded events."""
         self._now = now
+
+    def now(self) -> int:
+        """The bound kernel clock (0 before :meth:`bind_clock`)."""
+        return self._now()
+
+    def bind_predictor(
+        self, observe: Callable[[int, int, str], None] | None
+    ) -> None:
+        """Attach (or with ``None`` detach) a dispatch observer.
+
+        The observer sees ``(pid, cid, outcome)`` for every dispatch
+        resolution on both fan-out tiers, after the counter callback."""
+        self._predictor = observe
+        self._rebind()
 
     def attach(self, sink: EventSink) -> EventSink:
         """Subscribe an event sink; returns it for chaining."""
@@ -116,6 +134,18 @@ class TraceBus:
         else:
             for name, callback in _HOT_EMITTERS.items():
                 setattr(self, name, getattr(self.counters, callback))
+            if self._predictor is not None:
+                # Chain counter + model into one closure so dispatch
+                # stays a single attribute lookup on the fast path.
+                on_dispatch = self.counters.on_dispatch
+                observe = self._predictor
+
+                def dispatch_resolved(pid: int, cid: int,
+                                      outcome: str) -> None:
+                    on_dispatch(pid, cid, outcome)
+                    observe(pid, cid, outcome)
+
+                self.dispatch_resolved = dispatch_resolved
 
     @property
     def sinks(self) -> tuple[EventSink, ...]:
@@ -151,6 +181,8 @@ class TraceBus:
         self, pid: int, cid: int, outcome: str
     ) -> None:
         self.counters.on_dispatch(pid, cid, outcome)
+        if self._predictor is not None:
+            self._predictor(pid, cid, outcome)
         self._record(ev.DispatchResolved(self._now(), pid, cid, outcome))
 
     # ---- CIS management ------------------------------------------------------
@@ -261,6 +293,37 @@ class TraceBus:
         self.counters.on_pfu_quarantined(pid, pfu)
         if self.recording:
             self._record(ev.PfuQuarantined(self._now(), pid, pfu))
+
+    # ---- speculative prefetch (see repro.prefetch) ---------------------------
+    def prefetch_issued(
+        self, pid: int, cid: int, pfu: int, cycles: int
+    ) -> None:
+        self.counters.on_prefetch_issued(pid, cid, pfu, cycles)
+        if self.recording:
+            self._record(
+                ev.PrefetchIssued(self._now(), pid, cid, pfu, cycles)
+            )
+
+    def prefetch_hit(
+        self, pid: int, cid: int, pfu: int, overlap: int
+    ) -> None:
+        self.counters.on_prefetch_hit(pid, cid, pfu, overlap)
+        if self.recording:
+            self._record(ev.PrefetchHit(self._now(), pid, cid, pfu, overlap))
+
+    def prefetch_wasted(self, pid: int, cid: int, pfu: int) -> None:
+        self.counters.on_prefetch_wasted(pid, cid, pfu)
+        if self.recording:
+            self._record(ev.PrefetchWasted(self._now(), pid, cid, pfu))
+
+    def prefetch_cancelled(
+        self, pid: int, cid: int, pfu: int, reason: str
+    ) -> None:
+        self.counters.on_prefetch_cancelled(pid, cid, pfu, reason)
+        if self.recording:
+            self._record(
+                ev.PrefetchCancelled(self._now(), pid, cid, pfu, reason)
+            )
 
     # ---- cycle charges and termination ---------------------------------------
     def _cpu_burst_full(self, pid: int, cycles: int, instructions: int) -> None:

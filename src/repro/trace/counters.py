@@ -24,6 +24,7 @@ __all__ = [
     "CISStats",
     "ProcessStats",
     "FaultStats",
+    "PrefetchStats",
     "CounterSink",
 ]
 
@@ -138,6 +139,43 @@ class FaultStats(_StatBag):
         )
 
 
+@dataclass
+class PrefetchStats(_StatBag):
+    """Speculative-prefetch accounting (see :mod:`repro.prefetch`).
+
+    ``cancelled`` is keyed by reason (``mispredict``/``demand``/
+    ``exit``).  ``overlap_cycles`` sums the demand-stall cycles that
+    correct predictions hid — the prefetcher's whole payoff.
+    """
+
+    issued: int = 0
+    hits: int = 0
+    wasted: int = 0
+    cancelled: dict[str, int] = field(default_factory=dict)
+    overlap_cycles: int = 0
+
+    @property
+    def total_cancelled(self) -> int:
+        return sum(self.cancelled.values())
+
+    @property
+    def accuracy_pct(self) -> int:
+        """Integer percent of issued prefetches that hit."""
+        if not self.issued:
+            return 0
+        return 100 * self.hits // self.issued
+
+    @property
+    def empty(self) -> bool:
+        return not (
+            self.issued
+            or self.hits
+            or self.wasted
+            or self.cancelled
+            or self.overlap_cycles
+        )
+
+
 class CounterSink:
     """Rebuilds the legacy stat bags from bus callbacks.
 
@@ -150,7 +188,7 @@ class CounterSink:
     complete stream through a fresh sink reproduces a live sink's state.
     """
 
-    __slots__ = ("kernel", "cis", "dispatch", "faults", "_process")
+    __slots__ = ("kernel", "cis", "dispatch", "faults", "prefetch", "_process")
 
     def __init__(self) -> None:
         self.kernel = KernelStats()
@@ -158,6 +196,7 @@ class CounterSink:
         #: Decode-stage resolutions by outcome (``hit``/``soft``/``fault``).
         self.dispatch: dict[str, int] = {"hit": 0, "soft": 0, "fault": 0}
         self.faults = FaultStats()
+        self.prefetch = PrefetchStats()
         self._process: dict[int, ProcessStats] = {}
 
     def process(self, pid: int) -> ProcessStats:
@@ -260,6 +299,24 @@ class CounterSink:
     def on_pfu_quarantined(self, pid: int, pfu: int) -> None:
         self.faults.quarantined += 1
 
+    # ---- speculative prefetch ----------------------------------------------
+    def on_prefetch_issued(self, pid: int, cid: int, pfu: int,
+                           cycles: int) -> None:
+        self.prefetch.issued += 1
+
+    def on_prefetch_hit(self, pid: int, cid: int, pfu: int,
+                        overlap: int) -> None:
+        self.prefetch.hits += 1
+        self.prefetch.overlap_cycles += overlap
+
+    def on_prefetch_wasted(self, pid: int, cid: int, pfu: int) -> None:
+        self.prefetch.wasted += 1
+
+    def on_prefetch_cancelled(self, pid: int, cid: int, pfu: int,
+                              reason: str) -> None:
+        bag = self.prefetch.cancelled
+        bag[reason] = bag.get(reason, 0) + 1
+
     # ---- cycle charges and termination -------------------------------------
     def on_cpu_burst(self, pid: int, cycles: int, instructions: int) -> None:
         self.kernel.total_cycles += cycles
@@ -296,6 +353,9 @@ class CounterSink:
         # builds of this format.
         if not self.faults.empty:
             state["faults"] = self.faults.snapshot()
+        # Same discipline for prefetch: absent unless speculation ran.
+        if not self.prefetch.empty:
+            state["prefetch"] = self.prefetch.snapshot()
         return state
 
     def restore(self, state: dict) -> None:
@@ -308,6 +368,9 @@ class CounterSink:
         self.dispatch = {"hit": 0, "soft": 0, "fault": 0}
         self.dispatch.update(state["dispatch"])
         self.faults.restore(state.get("faults", FaultStats().snapshot()))
+        self.prefetch.restore(
+            state.get("prefetch", PrefetchStats().snapshot())
+        )
         blank = ProcessStats().snapshot()
         for pid, stats in self._process.items():
             stats.restore(state["process"].get(str(pid), blank))
@@ -364,4 +427,14 @@ _REPLAY = {
         e.pid, e.fault, e.target, e.action, e.cycles
     ),
     ev.PfuQuarantined: lambda s, e: s.on_pfu_quarantined(e.pid, e.pfu),
+    ev.PrefetchIssued: lambda s, e: s.on_prefetch_issued(
+        e.pid, e.cid, e.pfu, e.cycles
+    ),
+    ev.PrefetchHit: lambda s, e: s.on_prefetch_hit(
+        e.pid, e.cid, e.pfu, e.overlap
+    ),
+    ev.PrefetchWasted: lambda s, e: s.on_prefetch_wasted(e.pid, e.cid, e.pfu),
+    ev.PrefetchCancelled: lambda s, e: s.on_prefetch_cancelled(
+        e.pid, e.cid, e.pfu, e.reason
+    ),
 }

@@ -49,6 +49,10 @@ __all__ = [
     "FaultDetected",
     "FaultRecovered",
     "PfuQuarantined",
+    "PrefetchIssued",
+    "PrefetchHit",
+    "PrefetchWasted",
+    "PrefetchCancelled",
 ]
 
 
@@ -324,3 +328,60 @@ class PfuQuarantined(TraceEvent):
 
     pfu: int
     kind = "pfu_quarantined"
+
+
+# ---------------------------------------------------------------------------
+# speculative configuration prefetch (see repro.prefetch)
+
+
+@dataclass(frozen=True, slots=True)
+class PrefetchIssued(TraceEvent):
+    """A predicted-next bitstream started streaming into ``pfu``.
+
+    ``cycles`` is the full transfer length on an otherwise idle bus;
+    demand traffic stretches the actual completion time.
+    """
+
+    cid: int
+    pfu: int
+    cycles: int
+    kind = "prefetch_issued"
+
+
+@dataclass(frozen=True, slots=True)
+class PrefetchHit(TraceEvent):
+    """A fault found its circuit prefetched (fully or partially).
+
+    ``overlap`` is the demand-stall cycles the prefetch hid — the full
+    transfer for a completed prefetch, ``total - remaining`` for one
+    still in flight when the fault arrived.
+    """
+
+    cid: int
+    pfu: int
+    overlap: int
+    kind = "prefetch_hit"
+
+
+@dataclass(frozen=True, slots=True)
+class PrefetchWasted(TraceEvent):
+    """A completed prefetch was evicted or discarded before any use."""
+
+    cid: int
+    pfu: int
+    kind = "prefetch_wasted"
+
+
+@dataclass(frozen=True, slots=True)
+class PrefetchCancelled(TraceEvent):
+    """An in-flight prefetch was abandoned deterministically.
+
+    ``reason`` is ``mispredict`` (the process faulted on a different
+    CID), ``demand`` (the target PFU was reclaimed for a demand load)
+    or ``exit`` (the predicted-for process terminated).
+    """
+
+    cid: int
+    pfu: int
+    reason: str
+    kind = "prefetch_cancelled"

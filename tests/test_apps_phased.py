@@ -1,0 +1,142 @@
+"""Phase-changing / bursty workloads: filters, schedule, and kernels."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.phased import (
+    BURST_INTERLUDE,
+    BURST_MAIN,
+    PHASE_RUN,
+    acc_step,
+    dif_step,
+    make_acc_circuit,
+    make_dif_circuit,
+    phase_schedule,
+    phased_reference,
+)
+from repro.apps.registry import get_workload
+from repro.apps.workloads import WorkloadVariant
+from repro.config import MachineConfig
+from repro.kernel.porsche import Porsche
+from repro.kernel.process import ProcessState
+
+CONFIG = MachineConfig(cycles_per_ms=1000, config_bus_bytes_per_cycle=512)
+WORDS = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+def _signed16(word: int) -> int:
+    return word - (1 << 32) if word >> 31 else word
+
+
+class TestFunctionalModels:
+    def test_acc_folds_previous(self):
+        # (3*4 + 8) >> 2 = 5
+        assert acc_step(4, 8) == 5
+
+    def test_dif_subtracts_half(self):
+        # 10 - (8 >> 1) = 6
+        assert dif_step(10, 8) == 6
+
+    def test_acc_saturates_high(self):
+        assert _signed16(acc_step(32767, 32767)) == 32767
+
+    def test_dif_saturates_low(self):
+        big_neg = (-32768) & 0xFFFFFFFF
+        assert _signed16(dif_step(big_neg, 32767)) == -32768
+
+    @given(x=WORDS, prev=WORDS)
+    @settings(max_examples=150)
+    def test_outputs_are_q15(self, x, prev):
+        for step in (acc_step, dif_step):
+            out = _signed16(step(x, prev))
+            assert -32768 <= out <= 32767
+
+
+class TestSchedule:
+    def test_phases_alternate_fixed_runs(self):
+        runs = phase_schedule(40, "phases")
+        assert runs == [(1, 16), (2, 16), (1, 8)]
+
+    def test_burst_is_deterministic_per_seed(self):
+        assert phase_schedule(200, "burst", seed=3) == (
+            phase_schedule(200, "burst", seed=3)
+        )
+        assert phase_schedule(200, "burst", seed=3) != (
+            phase_schedule(200, "burst", seed=4)
+        )
+
+    @given(
+        items=st.integers(min_value=1, max_value=400),
+        seed=st.integers(min_value=0, max_value=50),
+        kind=st.sampled_from(["phases", "burst"]),
+    )
+    @settings(max_examples=60)
+    def test_schedule_covers_exactly_items(self, items, seed, kind):
+        runs = phase_schedule(items, kind, seed=seed)
+        assert sum(count for _, count in runs) == items
+        assert all(cid in (1, 2) and count >= 1 for cid, count in runs)
+
+    def test_burst_run_lengths_within_bounds(self):
+        runs = phase_schedule(2000, "burst", seed=7)
+        # Ignore the possibly-truncated tail run.
+        for cid, count in runs[:-1]:
+            lo, hi = BURST_MAIN if cid == 1 else BURST_INTERLUDE
+            assert lo <= count <= hi
+
+    def test_phases_run_length_matches_constant(self):
+        assert phase_schedule(PHASE_RUN * 2, "phases") == [
+            (1, PHASE_RUN), (2, PHASE_RUN)
+        ]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            phase_schedule(10, "chaos")
+
+
+class TestCircuits:
+    @pytest.mark.parametrize(
+        "make,step",
+        [(make_acc_circuit, acc_step), (make_dif_circuit, dif_step)],
+    )
+    def test_circuit_matches_model(self, make, step):
+        instance = make().instantiate(1, CONFIG)
+        for x, prev in ((4, 8), (0xFFFF8000, 32767), (32767, 0xFFFF8000)):
+            instance.begin(x, prev)
+            assert instance.advance(100) == step(x, prev)
+
+    def test_circuits_fit_a_pfu(self):
+        assert make_acc_circuit().clb_count <= CONFIG.pfu_clbs
+        assert make_dif_circuit().clb_count <= CONFIG.pfu_clbs
+
+
+class TestSimulatedKernels:
+    @pytest.mark.parametrize("kind", ["phases", "burst"])
+    @pytest.mark.parametrize(
+        "variant", [WorkloadVariant.ACCELERATED, WorkloadVariant.SOFTWARE]
+    )
+    def test_variant_matches_reference(self, kind, variant):
+        workload = get_workload(kind)
+        kernel = Porsche(CONFIG)
+        process = kernel.spawn(
+            workload.build(items=48, seed=5, variant=variant)
+        )
+        kernel.run()
+        assert process.state is ProcessState.EXITED
+        assert process.read_result("dst") == phased_reference(
+            kind, 48, seed=5
+        )
+
+    def test_soft_alternative_matches_under_contention(self):
+        config = CONFIG.derive(
+            pfu_count=1, prefer_software_when_full=True, quantum_ms=0.2
+        )
+        kernel = Porsche(config)
+        workload = get_workload("phases")
+        hw = kernel.spawn(workload.build(items=36, seed=9))
+        soft = kernel.spawn(workload.build(items=36, seed=9))
+        kernel.run()
+        expected = phased_reference("phases", 36, seed=9)
+        assert hw.read_result("dst") == expected
+        assert soft.read_result("dst") == expected
+        assert kernel.cis.stats.soft_deferrals >= 1

@@ -73,6 +73,66 @@ class TestFigureCommands:
             main([])
 
 
+class TestPrefetchCommand:
+    def test_single_point(self, capsys):
+        code = main(
+            [
+                "prefetch", "echo", "--instances", "3",
+                "--scale", SCALE, "--quiet", "--no-cache",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out
+        assert "prefetch" in out
+        assert "accuracy" in out
+
+    def test_sweep_tiny(self, capsys, tmp_path):
+        csv_path = tmp_path / "prefetch.csv"
+        code = main(
+            [
+                "prefetch", "phases", "--sweep",
+                "--scale", SCALE, "--max-instances", "2",
+                "--quiet", "--csv", str(csv_path), "--no-daemon",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Speculative Configuration Prefetch Test" in out
+        content = csv_path.read_text()
+        assert "Prefetch" in content and "Baseline" in content
+
+    def test_knob_validation(self):
+        with pytest.raises(SystemExit):
+            main(["prefetch", "--min-confidence", "not-a-number"])
+
+
+class TestTraceCommand:
+    def test_prefetch_flag_adds_section(self, capsys):
+        code = main(
+            [
+                "trace", "echo", "3",
+                "--scale", SCALE, "--quantum-ms", "1.0", "--events", "0",
+                "--prefetch", "--quiet",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Speculative prefetch" in out
+        assert "accuracy" in out
+
+    def test_no_prefetch_no_section(self, capsys):
+        code = main(
+            [
+                "trace", "echo", "3",
+                "--scale", SCALE, "--events", "0", "--quiet",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Speculative prefetch" not in out
+
+
 class TestCacheCommand:
     def _populate(self):
         """One executed point -> one result object + one tenant ref."""

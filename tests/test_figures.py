@@ -3,7 +3,13 @@
 import pytest
 
 from repro.errors import ExperimentError
-from repro.sim.figures import contention_knees, figure2, figure3, speedup_table
+from repro.sim.figures import (
+    contention_knees,
+    figure2,
+    figure3,
+    prefetch_sweep,
+    speedup_table,
+)
 from repro.sim.report import render_figure, render_speedup, render_table
 from repro.sim.series import FigureData, Series, SeriesPoint
 
@@ -148,6 +154,34 @@ class TestFigure3:
         assert "Alpha, Round Robin, 1ms" in figure.labels()
         knees = contention_knees(figure)
         assert set(knees) == set(figure.labels())
+
+
+class TestPrefetchSweep:
+    def test_baseline_and_prefetch_series(self):
+        figure = prefetch_sweep(
+            scale=SCALE,
+            instances=(1, 3),
+            workloads=("phases",),
+            quanta=(1.0,),
+        )
+        labels = figure.labels()
+        assert "Phases, Baseline, 1ms" in labels
+        assert "Phases, Prefetch, 1ms" in labels
+        for series in figure.series:
+            assert series.xs() == [1, 3]
+
+    def test_prefetch_wins_past_the_knee(self):
+        """At 5 instances (10 circuits on 4 PFUs) the predictive layer
+        must beat the reactive baseline outright."""
+        figure = prefetch_sweep(
+            scale=SCALE,
+            instances=(5,),
+            workloads=("burst",),
+            quanta=(1.0,),
+        )
+        base = figure.series_by_label("Burst, Baseline, 1ms").y_at(5)
+        on = figure.series_by_label("Burst, Prefetch, 1ms").y_at(5)
+        assert on < base
 
 
 class TestSpeedupTable:

@@ -23,7 +23,9 @@ from repro.errors import WorkloadError
 
 class TestRegistry:
     def test_registered_workloads(self):
-        assert set(WORKLOADS) == {"echo", "alpha", "twofish", "hash"}
+        assert set(WORKLOADS) == {
+            "echo", "alpha", "twofish", "hash", "phases", "burst"
+        }
 
     def test_lookup(self):
         assert get_workload("alpha").name == "alpha"
