@@ -99,5 +99,18 @@ class ExperimentError(ReproError):
     """An experiment harness was configured inconsistently."""
 
 
+class DaemonLostError(ExperimentError):
+    """The connection to a ``repro serve`` daemon was lost (and could
+    not be re-established within the client's reconnect budget).
+
+    Distinct from a job *failing*: the job itself may be perfectly
+    healthy — journaled, recovered and running in a restarted daemon —
+    it is only this client's view of it that is gone.  Callers can
+    catch this specifically to reconnect and resubmit idempotently;
+    already-streamed lifecycle events remain on the
+    :class:`~repro.sim.client.RemoteJob` handle.
+    """
+
+
 class CheckpointError(ReproError):
     """A machine checkpoint could not be taken, stored, or restored."""

@@ -17,6 +17,7 @@ exposes all of them from the command line.
 from .scaling import DEFAULT_SCALE, scaled_config
 from .experiment import ExperimentSpec, RunOutcome, run_experiment
 from .jobs import Job, JobQueue, JobState, QueueFull, Scheduler
+from .journal import Journal, RecoveredJob, recovered_jobs
 from .runner import (
     CheckpointStore,
     ResultCache,
@@ -38,6 +39,9 @@ __all__ = [
     "JobState",
     "QueueFull",
     "Scheduler",
+    "Journal",
+    "RecoveredJob",
+    "recovered_jobs",
     "CheckpointStore",
     "ResultCache",
     "SweepRunner",

@@ -17,9 +17,13 @@ Commands:
   reactive CIS against the predictive CIS with the asynchronous
   transfer engine (``--sweep`` runs the fig2-style sweep over the
   phase-changing and bursty workloads);
-* ``serve`` — the long-lived multi-tenant simulation daemon;
+* ``serve`` — the long-lived multi-tenant simulation daemon (with a
+  crash-safe job journal, recovery on start, and SIGTERM drain);
 * ``submit`` — one point through a running daemon, events streamed;
-* ``cache`` — result/checkpoint store stats and age-based pruning.
+* ``cache`` — result/checkpoint store stats and age-based pruning;
+* ``chaos`` — the seeded infra-fault campaign: kill workers, kill -9
+  the daemon, tear the journal, corrupt the cache, drop the client —
+  and prove the sweep CSV stays byte-identical.
 
 All commands accept ``--scale`` (default 1e-3; smaller is faster and
 coarser) and write CSV next to the plain-text rendering when ``--csv``
@@ -58,6 +62,7 @@ from .figures import (
     synthesis_sweep,
 )
 from .jobs import DEFAULT_TENANT, Scheduler
+from .journal import Journal
 from .report import render_figure, render_speedup, render_table, render_trace
 from .runner import (
     CheckpointStore,
@@ -500,6 +505,23 @@ def main(argv: list[str] | None = None) -> int:
         "--warm-start", action="store_true",
         help="warm-start jobs from stored machine checkpoints",
     )
+    pv.add_argument(
+        "--no-journal", action="store_true",
+        help="disable the crash-safe job journal (on by default under "
+             "<cache-dir>/journal; with it, a killed daemon's jobs are "
+             "recovered by the next one)",
+    )
+    pv.add_argument(
+        "--journal-sync", action="store_true",
+        help="fsync every journal record (survives machine crashes, "
+             "not just daemon crashes; slower)",
+    )
+    pv.add_argument(
+        "--hang-timeout", type=float, default=120.0, metavar="S",
+        help="watchdog deadline per dispatched slice: a worker silent "
+             "past S seconds is SIGKILLed and its job requeued from "
+             "checkpoint (default %(default)ss; 0 disables)",
+    )
 
     pb = sub.add_parser(
         "submit",
@@ -528,6 +550,44 @@ def main(argv: list[str] | None = None) -> int:
         "--timeout-action", default="fail", choices=("fail", "demote"),
         help="on timeout: fail the job, or checkpoint it and requeue "
              "at lower priority (default fail)",
+    )
+
+    px = sub.add_parser(
+        "chaos",
+        help="seeded infra-fault campaign against a real daemon: "
+             "SIGKILL a worker, kill -9 + restart the daemon (tearing "
+             "the journal tail and corrupting a cache object while it "
+             "is down), drop the client — then verify the sweep CSV "
+             "is byte-identical to the undisturbed run",
+    )
+    px.add_argument(
+        "workdir", nargs="?", default=None,
+        help="working directory for daemon state, logs and CSVs "
+             "(default: a fresh temp directory)",
+    )
+    px.add_argument("--seed", type=int, default=7,
+                    help="chaos schedule seed (default %(default)s)")
+    px.add_argument(
+        "--scale", type=float, default=DEFAULT_SCALE,
+        help="platform scale for the sweep (default %(default)s)",
+    )
+    px.add_argument(
+        "--max-instances", type=int, default=3,
+        help="sweep 1..N instances (default %(default)s)",
+    )
+    px.add_argument("--workers", type=int, default=2,
+                    help="daemon worker processes (default %(default)s)")
+    px.add_argument(
+        "--slice-quanta", type=int, default=64,
+        help="daemon slice budget (default %(default)s: small, so "
+             "faults land mid-job)",
+    )
+    px.add_argument(
+        "--event-log", metavar="PATH", default=None,
+        help="write the injected-fault schedule as JSON lines",
+    )
+    px.add_argument(
+        "--quiet", action="store_true", help="suppress progress output"
     )
 
     pk = sub.add_parser(
@@ -865,6 +925,11 @@ def main(argv: list[str] | None = None) -> int:
             CheckpointStore(default_checkpoint_dir())
             if args.warm_start else None
         )
+        journal = (
+            None if args.no_journal
+            else Journal(default_cache_dir() / "journal",
+                         sync=args.journal_sync)
+        )
         scheduler = Scheduler(
             workers=args.workers,
             cache=cache,
@@ -872,27 +937,62 @@ def main(argv: list[str] | None = None) -> int:
             queue_size=args.queue_size,
             slice_quanta=args.slice_quanta or None,
             rotate_workers=args.rotate_workers,
+            journal=journal,
+            hang_timeout_s=args.hang_timeout or None,
         )
         daemon = ServeDaemon(scheduler, args.socket)
         print(
             f"repro serve: {args.workers} workers | "
             f"slice {args.slice_quanta or 'off'} quanta | "
+            f"journal {'off' if journal is None else journal.root} | "
             f"socket {daemon.socket_path}",
             file=sys.stderr,
         )
+        recovered = scheduler.recover()
+        if recovered:
+            print(
+                f"serve: recovered {recovered} interrupted job(s) "
+                "from the journal",
+                file=sys.stderr,
+            )
         try:
             daemon.run()
         except KeyboardInterrupt:
             pass
         finally:
-            scheduler.shutdown(wait=True, cancel_pending=True)
+            if daemon.drain_requested:
+                # SIGTERM: quiesce to slice boundaries (checkpointing
+                # and journaling in-flight jobs) instead of cancelling
+                # — the next daemon's recover() picks them back up.
+                drained = scheduler.drain()
+                scheduler.shutdown(wait=True, cancel_pending=False)
+                print(
+                    "serve: drained"
+                    + ("" if drained else " (timed out with slices "
+                       "still running)"),
+                    file=sys.stderr,
+                )
+            else:
+                scheduler.shutdown(wait=True, cancel_pending=True)
+            if journal is not None:
+                journal.close()
             stats = scheduler.stats
+            recovery = (
+                f"hung restarts {stats.hung_restarts} | "
+                f"replays {stats.journal_replays} | "
+                f"recovered {stats.jobs_recovered} | "
+                f"resubmits {stats.reconnects} | "
+                if (stats.hung_restarts or stats.journal_replays
+                    or stats.jobs_recovered or stats.reconnects)
+                else ""
+            )
             print(
                 f"serve: {stats.submitted} submitted | "
                 f"{stats.executed} executed | "
                 f"cache hits {stats.cache_hits} | "
                 f"coalesced {stats.coalesced} | "
-                f"preemptions {stats.preemptions}",
+                f"preemptions {stats.preemptions} | {recovery}"
+                f"journal {'degraded' if journal and journal.degraded else 'ok' if journal else 'off'}",
                 file=sys.stderr,
             )
     elif args.command == "submit":
@@ -931,6 +1031,28 @@ def main(argv: list[str] | None = None) -> int:
                 )
                 print(f"[job {job.id}] done ({how})", file=sys.stderr)
         _print_outcome(outcome)
+    elif args.command == "chaos":
+        import tempfile
+
+        from .chaos import ChaosHarness, render_chaos
+
+        workdir = args.workdir or tempfile.mkdtemp(prefix="repro-chaos-")
+        harness = ChaosHarness(
+            workdir,
+            seed=args.seed,
+            scale=args.scale,
+            max_instances=args.max_instances,
+            workers=args.workers,
+            slice_quanta=args.slice_quanta,
+            event_log=args.event_log,
+            quiet=args.quiet,
+        )
+        report = harness.run()
+        print(render_chaos(report))
+        if not report.ok:
+            print(f"\nCSVs kept under {workdir} for diffing",
+                  file=sys.stderr)
+            return 1
     elif args.command == "cache":
         cache = ResultCache(default_cache_dir())
         checkpoints = CheckpointStore(default_checkpoint_dir())

@@ -28,6 +28,24 @@ execution after repeated failures; a timed-out job is checkpointed and
 requeued at lower priority (or failed); shutdown cancels everything
 pending and leaves no orphaned worker behind.
 
+Two crash-safety layers sit on top (see :mod:`repro.sim.journal`):
+
+* an optional write-ahead **journal** records submissions, lifecycle
+  transitions and latest-checkpoint refs, so :meth:`Scheduler.recover`
+  can requeue everything a killed daemon left behind — idempotently,
+  deduplicated on ``(tenant, spec_key, verify)``;
+* a **watchdog** catches workers that are alive but *hung* (a case
+  ``BrokenProcessPool`` never reports): a slice that overruns its
+  wall-clock deadline gets its pool killed and rotated, and the job
+  requeued from its last checkpoint under a bounded strike budget —
+  after :data:`MAX_HANG_STRIKES` strikes the job quarantine-fails
+  instead of eating workers forever.
+
+:meth:`Scheduler.drain` is the graceful sibling of ``shutdown``: stop
+dispatching, let in-flight slices checkpoint and journal themselves,
+and leave pending jobs journaled (not cancelled) for the next daemon
+to recover.
+
 ``workers=0`` is the serial reference path: jobs execute inline in the
 submitting thread, exactly like the pre-scheduler ``SweepRunner``.
 Results are bit-identical across all of it — inline vs. pool, sliced
@@ -40,6 +58,7 @@ import heapq
 import itertools
 import multiprocessing
 import os
+import signal
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -82,6 +101,15 @@ MIN_PRIORITY = -8
 
 #: Pool rebuilds tolerated per job before it runs inline in the parent.
 MAX_WORKER_RETRIES = 2
+
+#: Hung-worker kills tolerated per job before it quarantine-fails.
+#: Unlike worker *deaths* (which degrade to inline execution), a job
+#: that repeatedly hangs its worker must never run inline — it would
+#: hang the dispatcher itself.
+MAX_HANG_STRIKES = 2
+
+#: Fraction of the per-slice deadline between watchdog sweeps.
+WATCHDOG_RESOLUTION = 0.25
 
 
 class QueueFull(ExperimentError):
@@ -142,6 +170,13 @@ class Job:
         self.stored_checkpoint = False
         #: Times a dead pool worker forced a retry.
         self.retries = 0
+        #: Times the watchdog killed a hung worker under this job.
+        self.hang_strikes = 0
+        #: Set by the watchdog between the kill and the resulting
+        #: BrokenProcessPool, so the failure is booked as a hang.
+        self._hang_killed = False
+        #: The journal resubmitted this job after a daemon restart.
+        self.recovered = False
         #: Times the job was preempted at a slice boundary.
         self.preemptions = 0
         #: The job exceeded ``timeout_s`` at a slice boundary.
@@ -329,6 +364,60 @@ class SchedulerStats:
     timeouts: int = 0
     worker_retries: int = 0
     cancelled: int = 0
+    #: Hung workers killed and rotated by the watchdog.
+    hung_restarts: int = 0
+    #: Journal replays performed by :meth:`Scheduler.recover`.
+    journal_replays: int = 0
+    #: Interrupted jobs requeued from the journal on recovery.
+    jobs_recovered: int = 0
+    #: Submissions flagged as client resubmits after a reconnect.
+    reconnects: int = 0
+
+
+#: File descriptors every freshly forked worker closes at startup.
+#: Fork-context workers inherit *every* parent fd — including, in a
+#: ``repro serve`` daemon, the per-client connection sockets.  Left
+#: open in the workers, those copies keep a killed daemon's
+#: connections half-alive, so clients never see EOF and never start
+#: reconnecting.  The daemon registers its sockets here; the pool's
+#: initializer closes them on the child side of the fork.
+_WORKER_CLOSE_FDS: set[int] = set()
+
+
+def close_fd_in_workers(fd: int) -> None:
+    """Have future pool workers close ``fd`` right after forking."""
+    _WORKER_CLOSE_FDS.add(fd)
+
+
+def forget_fd_in_workers(fd: int) -> None:
+    """Stop closing ``fd`` in workers (it was closed in the parent)."""
+    _WORKER_CLOSE_FDS.discard(fd)
+
+
+def _worker_init() -> None:
+    # Fork also copies the parent's signal plumbing.  In a daemon the
+    # parent is an asyncio loop whose C-level signal trampoline writes
+    # the signal number into a wakeup socketpair — *shared* with the
+    # child across the fork.  A worker that later receives SIGTERM
+    # (pool teardown uses ``Process.terminate``) would write into that
+    # shared socket and the PARENT's loop would dispatch its own
+    # SIGTERM callback — a phantom drain nobody requested.  Detach the
+    # wakeup fd and restore default dispositions before anything else.
+    try:
+        signal.set_wakeup_fd(-1)
+    except (ValueError, OSError):
+        pass  # non-main thread or closed fd: nothing to detach
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, signal.SIG_DFL)
+        except (ValueError, OSError):
+            pass
+    for fd in list(_WORKER_CLOSE_FDS):
+        try:
+            os.close(fd)
+        except OSError:
+            pass
+    _WORKER_CLOSE_FDS.clear()
 
 
 def _execute_slice(payload: tuple) -> tuple:
@@ -394,6 +483,8 @@ class Scheduler:
         queue_size: int = 0,
         slice_quanta: int | None = None,
         rotate_workers: bool = False,
+        journal=None,
+        hang_timeout_s: float | None = None,
     ) -> None:
         if workers < 0:
             raise ExperimentError(f"workers must be >= 0, got {workers}")
@@ -401,11 +492,23 @@ class Scheduler:
             raise ExperimentError(
                 f"slice_quanta must be >= 1, got {slice_quanta}"
             )
+        if hang_timeout_s is not None and hang_timeout_s <= 0:
+            raise ExperimentError(
+                f"hang_timeout_s must be > 0, got {hang_timeout_s}"
+            )
         self.workers = workers
         self.cache = cache
         self.checkpoints = checkpoints
         self.slice_quanta = slice_quanta
         self.rotate_workers = rotate_workers
+        #: Write-ahead job journal (:class:`repro.sim.journal.Journal`),
+        #: duck typed; None disables crash safety entirely.
+        self.journal = journal
+        #: Per-slice wall-clock deadline: the watchdog's hang detector.
+        #: Derived from the slice budget by the caller (a slice is a
+        #: *bounded* amount of simulation, so a worker that holds one
+        #: past the deadline is hung, not slow); None disables it.
+        self.hang_timeout_s = hang_timeout_s
         self.stats = SchedulerStats()
         self.queue = JobQueue(maxsize=queue_size)
         self._ids = itertools.count(1)
@@ -414,16 +517,27 @@ class Scheduler:
         self._inflight: dict[str, Job] = {}
         self._jobs: dict[int, Job] = {}
         self._closing = False
+        self._draining = False
+        #: Slices currently on a worker: job id -> (job, deadline,
+        #: pool generation).  Feeds the watchdog and drain().
+        self._active: dict[int, tuple[Job, float, int]] = {}
         self._pool: ProcessPoolExecutor | None = None
         self._pool_lock = threading.Lock()
         self._pool_generation = 0
         self._slots = threading.BoundedSemaphore(max(workers, 1))
         self._dispatcher: threading.Thread | None = None
+        self._watchdog: threading.Thread | None = None
         if workers > 0:
             self._dispatcher = threading.Thread(
                 target=self._dispatch_loop, name="repro-dispatch", daemon=True
             )
             self._dispatcher.start()
+            if hang_timeout_s is not None:
+                self._watchdog = threading.Thread(
+                    target=self._watchdog_loop, name="repro-watchdog",
+                    daemon=True,
+                )
+                self._watchdog.start()
 
     # -- cache plumbing ----------------------------------------------------
     def _cache_for(self, tenant: str):
@@ -456,6 +570,7 @@ class Scheduler:
         timeout_action: str = "fail",
         checkpoint: dict | None = None,
         block: bool = True,
+        resubmit: bool = False,
     ) -> Job:
         """Submit one experiment point; returns its :class:`Job` handle.
 
@@ -465,9 +580,17 @@ class Scheduler:
         explicit machine checkpoint — migration *into* this scheduler.
         A bounded queue blocks here (or raises :class:`QueueFull` when
         ``block=False``): backpressure reaches the submitter.
+
+        ``resubmit`` marks a client's idempotent re-submission after a
+        reconnect: it is counted in :attr:`SchedulerStats.reconnects`
+        and otherwise relies on the cache/coalescing layers — the same
+        point either hits the stored result, rides the recovered
+        in-flight job, or re-executes bit-identically.
         """
         if self._closing:
             raise ExperimentError("scheduler is shut down")
+        if self._draining:
+            raise ExperimentError("scheduler is draining")
         job = Job(
             next(self._ids), spec, tenant=tenant, verify=verify,
             priority=priority, timeout_s=timeout_s,
@@ -475,8 +598,11 @@ class Scheduler:
         )
         job.checkpoint = checkpoint
         self.stats.submitted += 1
+        if resubmit:
+            self.stats.reconnects += 1
         with self._lock:
             self._jobs[job.id] = job
+        self._journal_submit(job)
 
         # Claim primacy for this spec key *before* consulting the cache:
         # a completing primary stores its result before leaving the
@@ -526,6 +652,141 @@ class Scheduler:
         with self._lock:
             return self._jobs.get(job_id)
 
+    # -- journaling --------------------------------------------------------
+    def _journal_submit(self, job: Job) -> None:
+        if self.journal is None:
+            return
+        from ..machine import spec_to_dict
+
+        self.journal.append({
+            "type": "submitted",
+            "job": job.id,
+            "tenant": job.tenant,
+            "spec": spec_to_dict(job.spec),
+            "verify": job.verify,
+            "priority": job.priority,
+            "timeout_s": job.timeout_s,
+            "timeout_action": job.timeout_action,
+        })
+        if job.checkpoint is not None:
+            # Migration/recovery submissions arrive mid-flight; record
+            # their starting checkpoint so a crash right now still
+            # resumes from it instead of cycle 0.
+            self._journal_checkpoint(job)
+
+    def _journal_state(self, job: Job, state: str,
+                       error: str | None = None) -> None:
+        if self.journal is None:
+            return
+        record: dict = {"type": "state", "job": job.id, "state": state}
+        if error is not None:
+            record["error"] = error
+        self.journal.append(record)
+
+    def _journal_checkpoint(self, job: Job) -> None:
+        if self.journal is None or job.checkpoint is None:
+            return
+        ref = self.journal.store_checkpoint(f"job-{job.id}", job.checkpoint)
+        if ref is not None:
+            self.journal.append(
+                {"type": "checkpoint", "job": job.id, "ref": ref}
+            )
+
+    def recover(self) -> int:
+        """Replay the journal and requeue every interrupted job.
+
+        Call once on daemon start, before serving clients.  Jobs that
+        never journaled a terminal state are resubmitted — warm-started
+        from their latest journaled checkpoint when one survives —
+        after deduplication on ``(tenant, spec, verify)``, so recovery
+        is idempotent: replaying twice, or a client resubmitting a
+        recovered point, never double-runs it.  The journal is then
+        reset; the resubmissions re-journal themselves through the
+        normal submit path.  Returns the number of jobs requeued.
+        """
+        if self.journal is None:
+            return 0
+        from ..machine import spec_from_dict
+        from .journal import recovered_jobs
+
+        records = self.journal.replay(truncate=True)
+        if records:
+            self.stats.journal_replays += 1
+        pending = recovered_jobs(records)
+        self.journal.reset()
+        requeued = 0
+        for entry in pending:
+            try:
+                spec = spec_from_dict(entry.spec_dict)
+            except (ReproError, KeyError, TypeError, ValueError):
+                continue  # journaled by a different schema; skip
+            checkpoint = None
+            if entry.checkpoint_ref is not None:
+                checkpoint = self.journal.load_checkpoint(
+                    entry.checkpoint_ref
+                )
+            try:
+                job = self.submit(
+                    spec,
+                    tenant=entry.tenant,
+                    verify=entry.verify,
+                    priority=entry.priority,
+                    timeout_s=entry.timeout_s,
+                    timeout_action=entry.timeout_action,
+                    checkpoint=checkpoint,
+                    block=False,
+                )
+            except ExperimentError:
+                continue  # backpressure: the journal still has it
+            job.recovered = True
+            requeued += 1
+            self.stats.jobs_recovered += 1
+        return requeued
+
+    # -- graceful drain ----------------------------------------------------
+    def begin_drain(self) -> None:
+        """Stop accepting submits and dispatching new slices.
+
+        Safe to call from a signal handler: it only flips a flag."""
+        self._draining = True
+
+    def drain(self, timeout_s: float = 60.0) -> bool:
+        """Graceful SIGTERM path: quiesce without cancelling anything.
+
+        After :meth:`begin_drain`, waits for in-flight slices to reach
+        their next boundary — where they checkpoint and journal
+        themselves — so every pending and interrupted job is on disk
+        for the next daemon's :meth:`recover`.  Unlike ``shutdown``,
+        nothing is cancelled: the journal, not this process, now owns
+        the jobs.  Returns False if slices were still running at the
+        timeout.
+        """
+        self.begin_drain()
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            with self._lock:
+                if not self._active:
+                    return True
+            time.sleep(0.02)
+        with self._lock:
+            return not self._active
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the live pool's worker processes.
+
+        Surfaced through the daemon ``stats`` verb so observers — and
+        the chaos harness, which needs real kill targets — can see the
+        fleet.  Empty before the first dispatch or after a rotation."""
+        with self._pool_lock:
+            pool = self._pool
+        if pool is None:
+            return []
+        return sorted(
+            process.pid
+            for process in list(getattr(pool, "_processes", {}).values())
+            if process.pid is not None
+        )
+
     # -- execution ---------------------------------------------------------
     def _slice_for(self, job: Job) -> int | None:
         if job.timeout_s is not None and self.slice_quanta is None:
@@ -549,6 +810,7 @@ class Scheduler:
         if job.started_at is None:
             job.started_at = time.monotonic()
         job.state = JobState.RUNNING
+        self._journal_state(job, "running")
         job._emit("running", {"pid": os.getpid()})
         while True:
             try:
@@ -573,6 +835,13 @@ class Scheduler:
             if job.done():  # cancelled while queued
                 self._slots.release()
                 continue
+            if self._draining:
+                # Graceful drain: leave the job journaled (submitted,
+                # latest checkpoint) rather than cancelled — the next
+                # daemon's recover() requeues it.  Popping here just
+                # empties the queue so shutdown() can join us.
+                self._slots.release()
+                continue
             if self._closing:
                 self._slots.release()
                 self._cancel(job)
@@ -587,14 +856,26 @@ class Scheduler:
                 job.started_at = time.monotonic()
             if job.state is not JobState.RUNNING:
                 job.state = JobState.RUNNING
+                self._journal_state(job, "running")
                 job._emit("running", {})
             try:
                 with self._pool_lock:
                     pool = self._ensure_pool()
                     generation = self._pool_generation
+                    # Register with the watchdog *before* dispatching:
+                    # a slice that completes instantly pops a present
+                    # entry instead of racing the registration.
+                    deadline = (
+                        float("inf") if self.hang_timeout_s is None
+                        else time.monotonic() + self.hang_timeout_s
+                    )
+                    with self._lock:
+                        self._active[job.id] = (job, deadline, generation)
                     future = pool.submit(_execute_slice, self._payload(job))
             except BaseException:
                 self._slots.release()
+                with self._lock:
+                    self._active.pop(job.id, None)
                 self._fail(job, "could not dispatch to worker pool")
                 continue
             future.add_done_callback(
@@ -604,9 +885,28 @@ class Scheduler:
 
     def _on_slice_done(self, job: Job, future, generation: int) -> None:
         self._slots.release()
+        with self._lock:
+            self._active.pop(job.id, None)
         try:
             result = future.result()
         except BrokenProcessPool:
+            if job._hang_killed:
+                # Not a death but an execution: the watchdog killed this
+                # job's hung worker (the pool is already rotated).  Retry
+                # from the last checkpoint under the strike budget; a
+                # serial hanger quarantine-fails instead of eating a
+                # fresh worker forever.
+                job._hang_killed = False
+                if job.hang_strikes > MAX_HANG_STRIKES:
+                    self._fail(
+                        job,
+                        f"quarantined after {job.hang_strikes} hung-worker "
+                        f"strikes (worker exceeded "
+                        f"{self.hang_timeout_s}s/slice)",
+                    )
+                    return
+                self.queue.requeue(job)
+                return
             # A worker died mid-slice (OOM kill, segfault...).  Retire
             # the broken pool once, then retry the job from its last
             # checkpoint — progress up to the previous slice survives.
@@ -639,6 +939,9 @@ class Scheduler:
         job.checkpoint = first
         job.preemptions += 1
         self.stats.preemptions += 1
+        # The journal tracks the latest checkpoint ref so a killed
+        # daemon resumes this job from here, not cycle 0.
+        self._journal_checkpoint(job)
         job._emit("preempted", {"quanta": second, "pid": pid})
         if self._timed_out(job):
             return True
@@ -714,6 +1017,7 @@ class Scheduler:
         # lock), so after this no new follower can attach and the drain
         # below is complete.
         job._finish(state, outcome=outcome, error=error)
+        self._journal_state(job, state.value, error=error)
         with self._lock:
             if self._inflight.get(key) is job:
                 del self._inflight[key]
@@ -726,6 +1030,7 @@ class Scheduler:
                 if cache is not None:
                     cache.store(follower.spec, follower.verify, outcome)
             follower._finish(state, outcome=outcome, error=error)
+            self._journal_state(follower, state.value, error=error)
 
     # -- pool management ---------------------------------------------------
     def _ensure_pool(self) -> ProcessPoolExecutor:
@@ -738,7 +1043,8 @@ class Scheduler:
                 "fork" if "fork" in methods else None
             )
             self._pool = ProcessPoolExecutor(
-                max_workers=self.workers, mp_context=context
+                max_workers=self.workers, mp_context=context,
+                initializer=_worker_init,
             )
         return self._pool
 
@@ -749,6 +1055,56 @@ class Scheduler:
             pool, self._pool = self._pool, None
             self._pool_generation += 1
         pool.shutdown(wait=False, cancel_futures=True)
+
+    def _kill_pool(self, generation: int) -> None:
+        """SIGKILL every worker of the given pool generation and retire
+        it.  The watchdog's hammer: a *hung* worker never returns, so
+        ``shutdown`` would wait on it forever — only the OS can take
+        the CPU back.  In-flight futures resolve as
+        :class:`BrokenProcessPool`, which requeues their jobs from
+        their last checkpoints."""
+        with self._pool_lock:
+            if self._pool_generation != generation or self._pool is None:
+                return  # already rotated; the hang died with it
+            pool, self._pool = self._pool, None
+            self._pool_generation += 1
+        for process in list(getattr(pool, "_processes", {}).values()):
+            try:
+                process.kill()
+            except (OSError, AttributeError):
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def _watchdog_loop(self) -> None:
+        """Detect workers that are alive but never return.
+
+        ``BrokenProcessPool`` only fires when a worker *dies*; a worker
+        spinning or sleeping forever holds its slot silently.  Every
+        dispatched slice carries a wall-clock deadline derived from the
+        slice budget; a slice past its deadline marks the job with a
+        hang strike and SIGKILLs the pool — the resulting broken-pool
+        completion requeues the casualty from its checkpoint (or
+        quarantine-fails it past the strike budget).
+        """
+        assert self.hang_timeout_s is not None
+        interval = max(0.01, self.hang_timeout_s * WATCHDOG_RESOLUTION)
+        while not self._closing:
+            time.sleep(interval)
+            now = time.monotonic()
+            victims: list[tuple[Job, int]] = []
+            with self._lock:
+                for job, deadline, generation in self._active.values():
+                    if now >= deadline and not job._hang_killed:
+                        job._hang_killed = True
+                        job.hang_strikes += 1
+                        victims.append((job, generation))
+            for job, generation in victims:
+                self.stats.hung_restarts += 1
+                job._emit("hung", {"strikes": job.hang_strikes})
+                # Kill outside the state lock: _kill_pool takes the
+                # pool lock, and the dispatcher nests them the other
+                # way around.
+                self._kill_pool(generation)
 
     # -- shutdown ----------------------------------------------------------
     def shutdown(self, wait: bool = True,

@@ -52,7 +52,7 @@ from hashlib import sha256
 from pathlib import Path
 from typing import Callable, Sequence
 
-from ..errors import ExperimentError
+from ..errors import DaemonLostError, ExperimentError
 from ..machine import CHECKPOINT_FORMAT, CHECKPOINT_VERSION
 from .experiment import ExperimentSpec, RunOutcome
 from .jobs import DEFAULT_TENANT, Job, JobState, Scheduler
@@ -491,6 +491,13 @@ class SweepRunner:
 
         def finish(index: int, job: Job) -> None:
             if job.state is not JobState.DONE:
+                if getattr(job, "daemon_lost", False):
+                    # The daemon went away, not the experiment: raise
+                    # the typed error so callers can restart/resubmit.
+                    raise DaemonLostError(
+                        f"sweep point {index} lost with its daemon: "
+                        f"{job.error}"
+                    )
                 raise ExperimentError(
                     f"sweep point {index} {job.state.value}: {job.error}"
                 )

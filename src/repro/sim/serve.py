@@ -19,7 +19,8 @@ Requests (``id`` is an arbitrary client-chosen correlation number)::
     {"id": 1, "op": "ping"}
     {"id": 2, "op": "submit", "spec": {...}, "tenant": "alice",
      "verify": false, "priority": 5, "timeout_s": 60.0,
-     "timeout_action": "demote", "checkpoint": {...}?}
+     "timeout_action": "demote", "checkpoint": {...}?,
+     "resubmit": false?}
     {"id": 3, "op": "stats"}
     {"id": 4, "op": "shutdown"}
 
@@ -53,7 +54,13 @@ from pathlib import Path
 from ..errors import ExperimentError, ReproError
 from ..machine import spec_from_dict
 from .experiment import outcome_to_dict
-from .jobs import DEFAULT_TENANT, Job, Scheduler
+from .jobs import (
+    DEFAULT_TENANT,
+    Job,
+    Scheduler,
+    close_fd_in_workers,
+    forget_fd_in_workers,
+)
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -137,6 +144,10 @@ class ServeDaemon:
         )
         #: Set once the socket is listening.
         self.started = threading.Event()
+        #: True when shutdown was triggered by SIGTERM: the embedder
+        #: should drain (checkpoint + journal in-flight jobs) rather
+        #: than cancel.  SIGINT and ``op: shutdown`` leave it False.
+        self.drain_requested = False
         self._loop: asyncio.AbstractEventLoop | None = None
         self._stop: asyncio.Event | None = None
 
@@ -163,16 +174,29 @@ class ServeDaemon:
         server = await asyncio.start_unix_server(
             self._handle, path=str(self.socket_path)
         )
+        # Fork-context workers must not inherit the daemon's sockets:
+        # a worker's copy would keep connections half-alive after a
+        # ``kill -9``, hiding the EOF clients reconnect on.
+        for sock in server.sockets:
+            close_fd_in_workers(sock.fileno())
         self.started.set()
         # A backgrounded daemon (``repro serve &`` under non-interactive
         # sh) inherits SIGINT as SIG_IGN, so KeyboardInterrupt never
         # fires; install explicit handlers so ``kill -INT``/``-TERM``
         # still shut it down gracefully.  Only possible from the main
         # thread — embedders (tests) call stop() instead.
+        #
+        # The two signals mean different things: SIGINT cancels
+        # everything (operator hit ^C), SIGTERM *drains* — stop taking
+        # submits, let in-flight slices checkpoint and journal, then
+        # exit so the next daemon recovers the jobs.
         handled: list[signal.Signals] = []
-        for signum in (signal.SIGINT, signal.SIGTERM):
+        for signum, handler in (
+            (signal.SIGINT, self._stop.set),
+            (signal.SIGTERM, self._on_sigterm),
+        ):
             try:
-                self._loop.add_signal_handler(signum, self._stop.set)
+                self._loop.add_signal_handler(signum, handler)
                 handled.append(signum)
             except (ValueError, OSError, RuntimeError,
                     NotImplementedError):
@@ -189,6 +213,14 @@ class ServeDaemon:
             except OSError:
                 pass
 
+    def _on_sigterm(self) -> None:
+        self.drain_requested = True
+        # Flag-flip only: the heavy lifting (waiting out in-flight
+        # slices) happens after run() returns, in the embedder.
+        self.scheduler.begin_drain()
+        if self._stop is not None:
+            self._stop.set()
+
     # -- per-connection plumbing -------------------------------------------
     async def _handle(self, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
@@ -196,6 +228,10 @@ class ServeDaemon:
         pump = asyncio.create_task(self._write_loop(outbox, writer))
         loop = asyncio.get_running_loop()
         alive = True
+        conn = writer.get_extra_info("socket")
+        conn_fd = conn.fileno() if conn is not None else -1
+        if conn_fd >= 0:
+            close_fd_in_workers(conn_fd)
 
         def post(message: dict) -> None:
             # Bridge scheduler-thread job events onto this connection's
@@ -229,6 +265,8 @@ class ServeDaemon:
         finally:
             alive = False
             pump.cancel()
+            if conn_fd >= 0:
+                forget_fd_in_workers(conn_fd)
             writer.close()
 
     async def _write_loop(self, outbox: asyncio.Queue,
@@ -257,6 +295,8 @@ class ServeDaemon:
                 reply = {
                     "stats": asdict(self.scheduler.stats),
                     "queued": len(self.scheduler.queue),
+                    "pid": os.getpid(),
+                    "worker_pids": self.scheduler.worker_pids(),
                 }
             elif op == "submit":
                 reply = self._submit(request, post)
@@ -285,6 +325,7 @@ class ServeDaemon:
             timeout_s=request.get("timeout_s"),
             timeout_action=request.get("timeout_action", "fail"),
             checkpoint=request.get("checkpoint"),
+            resubmit=bool(request.get("resubmit", False)),
             # Backpressure becomes a wire-level rejection: the event
             # loop must never block on a full queue.
             block=False,
